@@ -1,0 +1,65 @@
+// Ablation — Monte-Carlo baseline ([9]-style sampling): answer-set accuracy
+// versus sample count, compared to exact evaluation, plus running time.
+// Shows why the paper prefers verifiers: sampling needs many draws before
+// borderline candidates classify correctly.
+#include <set>
+
+#include "bench_util/harness.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — Monte-Carlo baseline",
+      "Answer agreement with exact evaluation (fraction of queries whose\n"
+      "answer set matches) and time, per sample count (P=0.3, Δ=0).");
+
+  const size_t queries = bench::QueriesFromEnv(15);
+  const size_t count = bench::DatasetSizeFromEnv(20000);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kUniform, queries,
+                                    count);
+
+  // Ground truth per query.
+  std::vector<std::vector<ObjectId>> truth;
+  QueryOptions exact;
+  exact.params = {0.3, 0.0};
+  exact.strategy = Strategy::kBasic;
+  exact.integration.gauss_points = 8;
+  for (double q : env.query_points) {
+    truth.push_back(env.executor.Execute(q, exact).ids);
+  }
+
+  ResultTable table({"samples", "exact_match_fraction", "mc_ms", "vr_ms"},
+                    "ablation_monte_carlo.csv");
+
+  QueryOptions vr;
+  vr.params = {0.3, 0.0};
+  vr.strategy = Strategy::kVR;
+  vr.integration.gauss_points = 8;
+  datagen::WorkloadResult vr_result =
+      datagen::RunWorkload(env.executor, env.query_points, vr);
+  double vr_ms = vr_result.AvgTotalMs() - vr_result.AvgFilterMs();
+
+  for (int samples : {100, 500, 1000, 5000, 20000}) {
+    QueryOptions mc;
+    mc.params = {0.3, 0.0};
+    mc.strategy = Strategy::kMonteCarlo;
+    mc.monte_carlo.samples = samples;
+    double ms = 0.0;
+    size_t match = 0;
+    for (size_t i = 0; i < env.query_points.size(); ++i) {
+      QueryAnswer ans = env.executor.Execute(env.query_points[i], mc);
+      ms += ans.stats.total_ms - ans.stats.filter_ms;
+      if (ans.ids == truth[i]) ++match;
+    }
+    table.AddRow(
+        {FormatDouble(samples, 0),
+         FormatDouble(static_cast<double>(match) / env.query_points.size(),
+                      3),
+         FormatDouble(ms / env.query_points.size(), 4),
+         FormatDouble(vr_ms, 4)});
+  }
+  table.Print();
+  return 0;
+}

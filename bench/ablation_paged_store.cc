@@ -1,0 +1,58 @@
+// Ablation — disk-paged subregion lists (paper §IV-D implementation note):
+// page I/O of verifier access patterns against the paged layout. RS touches
+// only the rightmost subregion's pages; a full subregion sweep (the L-SR /
+// U-SR access pattern) touches every page once — so the page counts expose
+// exactly why the verifier chain is I/O-friendly on disk.
+#include "bench_util/harness.h"
+#include "core/subregion_store.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — paged subregion store",
+      "Pages and page reads per query for the RS access pattern vs. a full\n"
+      "subregion sweep (L-SR/U-SR pattern), per page size. Long-Beach-like\n"
+      "dataset, averaged over queries.");
+
+  const size_t queries = bench::QueriesFromEnv(15);
+  bench::Environment env = bench::MakeDefaultEnvironment(
+      datagen::PdfKind::kUniform, queries, 53144);
+
+  ResultTable table({"page_bytes", "avg_pages", "storage_kb", "rs_reads",
+                     "sweep_reads"},
+                    "ablation_paged_store.csv");
+  for (size_t page_bytes : {512u, 1024u, 4096u, 16384u}) {
+    double pages = 0, storage = 0, rs_reads = 0, sweep_reads = 0;
+    size_t n = 0;
+    for (double q : env.query_points) {
+      FilterResult fr = env.executor.Filter(q);
+      CandidateSet cands =
+          CandidateSet::Build1D(env.dataset, fr.candidates, q);
+      if (cands.empty()) continue;
+      SubregionTable tbl = SubregionTable::Build(cands);
+      PagedSubregionStore::Options opts;
+      opts.page_bytes = page_bytes;
+      PagedSubregionStore store = PagedSubregionStore::Build(tbl, opts);
+      pages += static_cast<double>(store.num_pages());
+      storage += static_cast<double>(store.StorageBytes()) / 1024.0;
+
+      store.ResetCounters();
+      RsUpperBoundsFromStore(store, cands.size());
+      rs_reads += static_cast<double>(store.page_reads());
+
+      store.ResetCounters();
+      for (size_t j = 0; j < store.num_subregions(); ++j) {
+        store.ForEachEntry(j, [](const SubregionEntry&) {});
+      }
+      sweep_reads += static_cast<double>(store.page_reads());
+      ++n;
+    }
+    table.AddRow({FormatDouble(page_bytes, 0),
+                  FormatDouble(pages / n, 1), FormatDouble(storage / n, 1),
+                  FormatDouble(rs_reads / n, 1),
+                  FormatDouble(sweep_reads / n, 1)});
+  }
+  table.Print();
+  return 0;
+}

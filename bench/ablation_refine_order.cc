@@ -1,0 +1,49 @@
+// Ablation — refinement order: collapsing the largest-probability subregion
+// first (library default) versus the natural left-to-right sweep.
+//
+// The design call in DESIGN.md: larger s_ij collapses more bound width per
+// integration, so greedy ordering should decide candidates with fewer exact
+// integrations.
+#include "bench_util/harness.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — incremental refinement order",
+      "Exact subregion integrations per query and refinement time for the\n"
+      "two refinement orders (Long-Beach-like dataset, Δ=0.01).");
+
+  const size_t queries = bench::QueriesFromEnv(15);
+  const size_t count = bench::DatasetSizeFromEnv(53144);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kUniform, queries,
+                                    count);
+
+  ResultTable table({"P", "greedy_integrations", "ltr_integrations",
+                     "greedy_refine_ms", "ltr_refine_ms"},
+                    "ablation_refine_order.csv");
+  for (double P : {0.1, 0.2, 0.3}) {
+    double integ[2] = {0, 0};
+    double ms[2] = {0, 0};
+    RefineOrder orders[2] = {RefineOrder::kBySubregionProbability,
+                             RefineOrder::kLeftToRight};
+    for (int o = 0; o < 2; ++o) {
+      QueryOptions opt;
+      opt.params = {P, 0.01};
+      opt.strategy = Strategy::kVR;
+      opt.refine_order = orders[o];
+      opt.integration.gauss_points = 8;
+      datagen::WorkloadResult r =
+          datagen::RunWorkload(env.executor, env.query_points, opt);
+      integ[o] =
+          static_cast<double>(r.totals.subregion_integrations) / r.queries;
+      ms[o] = r.AvgRefineMs();
+    }
+    table.AddRow({FormatDouble(P, 1), FormatDouble(integ[0], 1),
+                  FormatDouble(integ[1], 1), FormatDouble(ms[0], 4),
+                  FormatDouble(ms[1], 4)});
+  }
+  table.Print();
+  return 0;
+}

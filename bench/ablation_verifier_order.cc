@@ -1,0 +1,62 @@
+// Ablation — verifier chain composition: the paper orders verifiers by
+// cost ({RS, L-SR, U-SR}). We compare alternative chains by verification
+// time and by how many candidates remain unknown.
+#include <memory>
+
+#include "bench_util/harness.h"
+#include "common/timer.h"
+#include "core/framework.h"
+
+using namespace pverify;
+namespace {
+
+std::vector<std::unique_ptr<Verifier>> MakeChain(const std::string& spec) {
+  std::vector<std::unique_ptr<Verifier>> chain;
+  for (char c : spec) {
+    if (c == 'R') chain.push_back(std::make_unique<RsVerifier>());
+    if (c == 'L') chain.push_back(std::make_unique<LsrVerifier>());
+    if (c == 'U') chain.push_back(std::make_unique<UsrVerifier>());
+  }
+  return chain;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — verifier chain composition",
+      "Verification time and unknown fraction for different verifier\n"
+      "chains at P=0.3, Δ=0.01 (R=RS, L=L-SR, U=U-SR). The paper's chain\n"
+      "is RLU — cheap verifiers first.");
+
+  const size_t queries = bench::QueriesFromEnv(20);
+  const size_t count = bench::DatasetSizeFromEnv(53144);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kUniform, queries,
+                                    count);
+
+  ResultTable table({"chain", "verify_ms", "unknown_fraction"},
+                    "ablation_verifier_order.csv");
+  for (const std::string spec : {"RLU", "ULR", "RU", "RL", "U", "L", "R"}) {
+    double ms = 0.0;
+    double unknown_frac = 0.0;
+    size_t n = 0;
+    for (double q : env.query_points) {
+      FilterResult filtered = env.executor.Filter(q);
+      CandidateSet cands =
+          CandidateSet::Build1D(env.dataset, filtered.candidates, q);
+      if (cands.empty()) continue;
+      VerificationFramework fw(&cands, CpnnParams{0.3, 0.01});
+      Timer t;
+      VerificationStats stats = fw.Run(MakeChain(spec));
+      ms += t.ElapsedMs();
+      unknown_frac += static_cast<double>(stats.unknown_after) /
+                      static_cast<double>(cands.size());
+      ++n;
+    }
+    table.AddRow({spec, FormatDouble(ms / n, 4),
+                  FormatDouble(unknown_frac / n, 3)});
+  }
+  table.Print();
+  return 0;
+}

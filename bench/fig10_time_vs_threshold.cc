@@ -1,0 +1,44 @@
+// Figure 10 — query time vs. threshold P for the three evaluation
+// strategies (Basic / Refine / VR) on the Long-Beach-like dataset.
+//
+// Paper result: Refine and VR both beat Basic everywhere; VR is
+// consistently the fastest (5× over Refine at P=0.3, ~40× at P=0.7).
+#include "bench_util/harness.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 10 — Time vs. P",
+      "Average per-query evaluation time (ms, excluding filtering) on the\n"
+      "Long-Beach-like dataset (53,144 intervals, uniform pdfs, Δ=0.01).\n"
+      "Paper: VR < Refine < Basic for every threshold.");
+
+  const size_t queries = bench::QueriesFromEnv(10);
+  const size_t count = bench::DatasetSizeFromEnv(53144);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kUniform, queries,
+                                    count);
+
+  ResultTable table({"P", "basic_ms", "refine_ms", "vr_ms", "vr_speedup"},
+                    "fig10.csv");
+  for (double P : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    double ms[3] = {0, 0, 0};
+    Strategy strategies[3] = {Strategy::kBasic, Strategy::kRefine,
+                              Strategy::kVR};
+    for (int s = 0; s < 3; ++s) {
+      QueryOptions opt;
+      opt.params = {P, 0.01};
+      opt.strategy = strategies[s];
+      opt.integration.gauss_points = 8;
+      datagen::WorkloadResult r =
+          datagen::RunWorkload(env.executor, env.query_points, opt);
+      ms[s] = r.AvgTotalMs() - r.AvgFilterMs();
+    }
+    table.AddRow({FormatDouble(P, 1), FormatDouble(ms[0], 4),
+                  FormatDouble(ms[1], 4), FormatDouble(ms[2], 4),
+                  FormatDouble(ms[2] > 0 ? ms[1] / ms[2] : 0.0, 1)});
+  }
+  table.Print();
+  return 0;
+}

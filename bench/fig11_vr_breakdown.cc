@@ -1,0 +1,47 @@
+// Figure 11 — phase breakdown of the VR strategy: filtering, verification
+// and refinement time as the threshold grows.
+//
+// Paper result: filtering time is fixed, verification stays ~1ms, and
+// refinement time shrinks with P — vanishing for P > 0.3.
+#include "bench_util/harness.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 11 — Analysis of VR",
+      "Per-phase average time (ms) of the VR strategy on the\n"
+      "Long-Beach-like dataset (Δ=0.01). Paper: refinement cost decays\n"
+      "with P; verification stays tiny and flat.");
+
+  const size_t queries = bench::QueriesFromEnv(10);
+  const size_t count = bench::DatasetSizeFromEnv(53144);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kUniform, queries,
+                                    count);
+
+  ResultTable table({"P", "filter_ms", "init_ms", "verify_ms", "refine_ms",
+                     "unknown_after_verify", "integrations"},
+                    "fig11.csv");
+  for (double P : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    QueryOptions opt;
+    opt.params = {P, 0.01};
+    opt.strategy = Strategy::kVR;
+    opt.integration.gauss_points = 8;
+    datagen::WorkloadResult r =
+        datagen::RunWorkload(env.executor, env.query_points, opt);
+    table.AddRow(
+        {FormatDouble(P, 1), FormatDouble(r.AvgFilterMs(), 4),
+         FormatDouble(r.AvgInitMs(), 4), FormatDouble(r.AvgVerifyMs(), 4),
+         FormatDouble(r.AvgRefineMs(), 4),
+         FormatDouble(static_cast<double>(
+                          r.totals.unknown_after_verification) /
+                          r.queries,
+                      2),
+         FormatDouble(static_cast<double>(r.totals.subregion_integrations) /
+                          r.queries,
+                      1)});
+  }
+  table.Print();
+  return 0;
+}

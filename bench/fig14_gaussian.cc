@@ -1,0 +1,47 @@
+// Figure 14 — Gaussian uncertainty pdfs (300-bar histograms): evaluation
+// time of Basic / Refine / VR across thresholds, log-scale regime.
+//
+// Paper result: probability evaluation over Gaussian histograms is much
+// more expensive, so the verifiers' savings widen — VR beats the others by
+// orders of magnitude; at P=1 everything is cheap because at most one
+// candidate can qualify.
+#include "bench_util/harness.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 14 — Gaussian pdf",
+      "Average per-query evaluation time (ms, excluding filtering) with\n"
+      "300-bar Gaussian pdfs. Smaller default dataset (10K objects) keeps\n"
+      "the Basic baseline runnable; set PVERIFY_DATASET=53144 and\n"
+      "PVERIFY_QUERIES=100 for the paper-scale run.");
+
+  const size_t queries = bench::QueriesFromEnv(3);
+  const size_t count = bench::DatasetSizeFromEnv(10000);
+  bench::Environment env =
+      bench::MakeDefaultEnvironment(datagen::PdfKind::kGaussian, queries,
+                                    count);
+
+  ResultTable table({"P", "basic_ms", "refine_ms", "vr_ms", "vr_speedup"},
+                    "fig14.csv");
+  for (double P : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    double ms[3] = {0, 0, 0};
+    Strategy strategies[3] = {Strategy::kBasic, Strategy::kRefine,
+                              Strategy::kVR};
+    for (int s = 0; s < 3; ++s) {
+      QueryOptions opt;
+      opt.params = {P, 0.01};
+      opt.strategy = strategies[s];
+      opt.integration.gauss_points = 4;  // the integrand is piecewise-linear
+      datagen::WorkloadResult r =
+          datagen::RunWorkload(env.executor, env.query_points, opt);
+      ms[s] = r.AvgTotalMs() - r.AvgFilterMs();
+    }
+    table.AddRow({FormatDouble(P, 1), FormatDouble(ms[0], 3),
+                  FormatDouble(ms[1], 3), FormatDouble(ms[2], 3),
+                  FormatDouble(ms[2] > 0 ? ms[0] / ms[2] : 0.0, 1)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Table III — verifier complexities: RS is O(|C|), L-SR and U-SR are
+// O(|C|·M). We measure per-verifier apply time on candidate sets of growing
+// size and report the scaling against |C| and |C|·M.
+#include <memory>
+
+#include "bench_util/harness.h"
+#include "common/timer.h"
+#include "core/framework.h"
+
+using namespace pverify;
+
+int main() {
+  bench::PrintHeader(
+      "Table III — Verifier costs",
+      "Apply time (µs) of each verifier vs. candidate-set size. RS should\n"
+      "scale with |C|; L-SR and U-SR with |C|·M (subregion count M grows\n"
+      "with |C| here, so their curves bend upward).");
+
+  ResultTable table({"candidates", "M", "rs_us", "lsr_us", "usr_us",
+                     "subregion_build_us"},
+                    "tab3.csv");
+
+  for (size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    // Overlapping intervals around a query at 0 so all n survive filtering.
+    Dataset data;
+    Rng rng(n);
+    for (size_t i = 0; i < n; ++i) {
+      double lo = rng.Uniform(0.0, 10.0);
+      data.emplace_back(static_cast<ObjectId>(i),
+                        MakeUniformPdf(lo, lo + rng.Uniform(30.0, 60.0)));
+    }
+    std::vector<uint32_t> idx(n);
+    for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+    CandidateSet cands = CandidateSet::Build1D(data, idx, 0.0);
+
+    Timer t;
+    SubregionTable tbl = SubregionTable::Build(cands);
+    double build_us = t.ElapsedUs();
+
+    const int reps = 20;
+    double us[3] = {0, 0, 0};
+    std::unique_ptr<Verifier> verifiers[3];
+    verifiers[0] = std::make_unique<RsVerifier>();
+    verifiers[1] = std::make_unique<LsrVerifier>();
+    verifiers[2] = std::make_unique<UsrVerifier>();
+    for (int v = 0; v < 3; ++v) {
+      for (int rep = 0; rep < reps; ++rep) {
+        CandidateSet fresh = cands;  // unlabeled copy
+        VerificationContext ctx(&fresh, &tbl);
+        Timer tv;
+        verifiers[v]->Apply(ctx);
+        us[v] += tv.ElapsedUs();
+      }
+      us[v] /= reps;
+    }
+    table.AddRow({FormatDouble(cands.size(), 0),
+                  FormatDouble(tbl.num_subregions(), 0),
+                  FormatDouble(us[0], 2), FormatDouble(us[1], 2),
+                  FormatDouble(us[2], 2), FormatDouble(build_us, 2)});
+  }
+  table.Print();
+  return 0;
+}

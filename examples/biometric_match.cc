@@ -1,0 +1,87 @@
+// Biometric-database scenario (paper §I, [4]): stored feature vectors are
+// uncertain (Gaussian around the enrolled measurement). Given a probe
+// measurement, a C-PNN returns the identities whose stored feature is most
+// likely the closest match, with a confidence threshold. A probabilistic
+// range query pre-screens the gallery.
+//
+// Also demonstrates the dataset text format (datagen/dataset_io.h): the
+// gallery is written to disk and read back, as a real deployment would.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "core/query.h"
+#include "core/range_query.h"
+#include "datagen/dataset_io.h"
+
+using namespace pverify;
+
+int main() {
+  Rng rng(99);
+
+  // Enroll 1,000 identities: each stored feature value is a truncated
+  // Gaussian (measurement noise around the enrolled value).
+  Dataset gallery;
+  for (int i = 0; i < 1000; ++i) {
+    double enrolled = rng.Uniform(0.0, 1000.0);
+    double noise = rng.Uniform(1.5, 6.0);
+    gallery.emplace_back(i, MakeGaussianPdf(enrolled - 3.0 * noise,
+                                            enrolled + 3.0 * noise,
+                                            enrolled, noise, 120));
+  }
+
+  // Persist and reload the gallery (text format, round-trips histograms).
+  const std::string path = "/tmp/pverify_gallery.txt";
+  datagen::SaveDataset(gallery, path);
+  Dataset loaded = datagen::LoadDataset(path);
+  std::printf("gallery: %zu identities (saved and reloaded from %s)\n",
+              loaded.size(), path.c_str());
+
+  const double probe = 512.7;
+
+  // Screening: identities whose stored value has >= 50% probability of
+  // lying within ±8 units of the probe.
+  RangeQueryExecutor screener(loaded);
+  auto screened = screener.Execute(probe - 8.0, probe + 8.0, 0.5);
+  std::printf("\nrange screening (±8.0, P >= 0.5): %zu identities\n",
+              screened.size());
+  for (const RangeResult& r : screened) {
+    std::printf("  identity %4lld  P(in window) = %.3f\n",
+                static_cast<long long>(r.id), r.probability);
+  }
+
+  // Identification: C-PNN at the probe value.
+  CpnnExecutor executor(loaded);
+  QueryOptions options;
+  options.params = {/*threshold=*/0.4, /*tolerance=*/0.01};
+  options.strategy = Strategy::kVR;
+  options.report_probabilities = true;
+  QueryAnswer answer = executor.Execute(probe, options);
+
+  std::printf("\nC-PNN identification (P >= 0.40):\n");
+  if (answer.ids.empty()) {
+    std::printf("  no identity clears the confidence bar → reject probe\n");
+  }
+  for (ObjectId id : answer.ids) {
+    std::printf("  identity %4lld matches\n", static_cast<long long>(id));
+  }
+  std::printf("\ncandidates after filtering: %zu; verification decided %zu "
+              "without integration\n",
+              answer.stats.candidates,
+              answer.stats.candidates - answer.stats.refined_candidates);
+
+  // Show the bound picture for the top candidates.
+  std::printf("\nbounds of the strongest candidates:\n");
+  auto entries = answer.candidate_probabilities;
+  std::sort(entries.begin(), entries.end(),
+            [](const AnswerEntry& a, const AnswerEntry& b) {
+              return a.bound.upper > b.bound.upper;
+            });
+  for (size_t i = 0; i < entries.size() && i < 4; ++i) {
+    std::printf("  identity %4lld: P in [%.3f, %.3f]\n",
+                static_cast<long long>(entries[i].id),
+                entries[i].bound.lower, entries[i].bound.upper);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a few uncertain objects, run a C-PNN, inspect answers.
+//
+//   $ ./quickstart
+//
+// Walks through the library's core API: pdfs → objects → executor → query.
+#include <cstdio>
+
+#include "core/query.h"
+
+using namespace pverify;
+
+int main() {
+  // 1. Uncertain objects: closed intervals with a pdf inside (paper §I).
+  //    Think of four sensors reporting a 1-D attribute with noise.
+  Dataset sensors;
+  sensors.emplace_back(/*id=*/1, MakeUniformPdf(10.0, 14.0));
+  sensors.emplace_back(/*id=*/2, MakeGaussianPdf(11.0, 17.0));  // 300 bars
+  sensors.emplace_back(/*id=*/3, MakeUniformPdf(12.5, 15.5));
+  sensors.emplace_back(/*id=*/4, MakeHistogramPdf(20.0, 26.0,
+                                                  {1.0, 4.0, 2.0}));
+
+  // 2. The executor bulk-loads an R-tree for the filtering phase.
+  CpnnExecutor executor(sensors);
+
+  // 3. Plain PNN: the exact qualification probability of every candidate.
+  const double q = 12.0;
+  std::printf("PNN at q = %.1f\n", q);
+  for (const auto& [id, p] : executor.ComputePnn(q)) {
+    std::printf("  object %lld: P(nearest) = %.4f\n",
+                static_cast<long long>(id), p);
+  }
+
+  // 4. C-PNN: only objects with probability >= P, with tolerance Δ — the
+  //    constrained query the verifiers accelerate (paper Definition 1).
+  QueryOptions options;
+  options.params = {/*threshold=*/0.3, /*tolerance=*/0.01};
+  options.strategy = Strategy::kVR;  // verifiers + incremental refinement
+  options.report_probabilities = true;
+
+  QueryAnswer answer = executor.Execute(q, options);
+  std::printf("\nC-PNN (P=%.2f, tolerance=%.2f) answers:", 0.3, 0.01);
+  for (ObjectId id : answer.ids) {
+    std::printf(" %lld", static_cast<long long>(id));
+  }
+  std::printf("\n\nper-candidate probability bounds after evaluation:\n");
+  for (const AnswerEntry& e : answer.candidate_probabilities) {
+    std::printf("  object %lld: [%.4f, %.4f]\n",
+                static_cast<long long>(e.id), e.bound.lower, e.bound.upper);
+  }
+
+  // 5. Execution statistics: how much work each phase did.
+  const QueryStats& s = answer.stats;
+  std::printf(
+      "\nphases: filter %.3f ms | init %.3f ms | verify %.3f ms | "
+      "refine %.3f ms\n",
+      s.filter_ms, s.init_ms, s.verify_ms, s.refine_ms);
+  std::printf("candidates: %zu, subregions: %zu, integrations: %zu\n",
+              s.candidates, s.num_subregions, s.subregion_integrations);
+  return 0;
+}

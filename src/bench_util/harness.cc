@@ -1,0 +1,44 @@
+#include "bench_util/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pverify {
+namespace bench {
+
+Environment::Environment(Dataset data, size_t num_queries,
+                         uint64_t query_seed)
+    : dataset(std::move(data)),
+      executor(dataset),
+      query_points(datagen::MakeQueryPoints(num_queries, 0.0, 10000.0,
+                                            query_seed)) {}
+
+Environment MakeDefaultEnvironment(datagen::PdfKind pdf, size_t num_queries,
+                                   size_t count) {
+  datagen::SyntheticConfig config;
+  config.pdf = pdf;
+  config.count = count;
+  return Environment(datagen::MakeSynthetic(config), num_queries,
+                     /*query_seed=*/101);
+}
+
+size_t QueriesFromEnv(size_t fallback) {
+  const char* v = std::getenv("PVERIFY_QUERIES");
+  if (v == nullptr) return fallback;
+  long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+size_t DatasetSizeFromEnv(size_t fallback) {
+  const char* v = std::getenv("PVERIFY_DATASET");
+  if (v == nullptr) return fallback;
+  long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<size_t>(n) : fallback;
+}
+
+void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+}  // namespace bench
+}  // namespace pverify

@@ -1,0 +1,46 @@
+// Shared scaffolding for the per-figure benchmark binaries: standard
+// datasets, workloads and sweep drivers so every figure harness stays short
+// and uniform.
+#ifndef PVERIFY_BENCH_UTIL_HARNESS_H_
+#define PVERIFY_BENCH_UTIL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace pverify {
+namespace bench {
+
+/// Standard experiment environment mirroring the paper's §V-A setup.
+struct Environment {
+  Dataset dataset;
+  CpnnExecutor executor;
+  std::vector<double> query_points;
+
+  Environment(Dataset data, size_t num_queries, uint64_t query_seed);
+};
+
+/// Long-Beach-like environment (53,144 intervals unless `count` overrides)
+/// with `num_queries` random query points. Benchmarks default to fewer
+/// queries than the paper's 100 to keep the full suite fast; pass 100 for a
+/// faithful run.
+Environment MakeDefaultEnvironment(datagen::PdfKind pdf,
+                                   size_t num_queries = 20,
+                                   size_t count = 53144);
+
+/// Number of queries per configuration, overridable via PVERIFY_QUERIES.
+size_t QueriesFromEnv(size_t fallback);
+
+/// Dataset size override helper (PVERIFY_DATASET).
+size_t DatasetSizeFromEnv(size_t fallback);
+
+/// Prints a standard header naming the figure and its setup.
+void PrintHeader(const std::string& figure, const std::string& description);
+
+}  // namespace bench
+}  // namespace pverify
+
+#endif  // PVERIFY_BENCH_UTIL_HARNESS_H_

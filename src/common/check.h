@@ -1,0 +1,50 @@
+// Lightweight invariant-checking macros for pverify.
+//
+// PV_CHECK fires in every build type; it guards public-API contract
+// violations (bad pdf construction, out-of-range thresholds, ...) where
+// continuing would silently corrupt query answers. PV_DCHECK compiles out in
+// release builds and guards internal invariants on hot paths.
+#ifndef PVERIFY_COMMON_CHECK_H_
+#define PVERIFY_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pverify {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "PV_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace internal
+}  // namespace pverify
+
+#define PV_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::pverify::internal::CheckFail(#cond, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define PV_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::pverify::internal::CheckFail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef NDEBUG
+#define PV_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define PV_DCHECK(cond) PV_CHECK(cond)
+#endif
+
+#endif  // PVERIFY_COMMON_CHECK_H_

@@ -1,0 +1,72 @@
+#include "common/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace pverify {
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+ResultTable::ResultTable(std::vector<std::string> header, std::string csv_path)
+    : header_(std::move(header)), csv_path_(std::move(csv_path)) {
+  PV_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void ResultTable::AddRow(const std::vector<std::string>& cells) {
+  PV_CHECK_MSG(cells.size() == header_.size(),
+               "row width must match header width");
+  rows_.push_back(cells);
+}
+
+void ResultTable::AddRow(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double c : cells) formatted.push_back(FormatDouble(c, precision));
+  AddRow(formatted);
+}
+
+void ResultTable::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 == header_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) print_row(row);
+
+  if (!csv_path_.empty()) {
+    std::ofstream out(csv_path_);
+    if (out) {
+      auto csv_row = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          out << row[c] << (c + 1 == row.size() ? "\n" : ",");
+        }
+      };
+      csv_row(header_);
+      for (const auto& row : rows_) csv_row(row);
+    }
+  }
+}
+
+}  // namespace pverify

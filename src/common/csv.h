@@ -1,0 +1,41 @@
+// Minimal table emitter for benchmark harnesses: prints aligned columns to
+// stdout and optionally mirrors rows into a CSV file so figure data can be
+// re-plotted.
+#ifndef PVERIFY_COMMON_CSV_H_
+#define PVERIFY_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pverify {
+
+/// Column-aligned result table with optional CSV mirroring.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> header,
+                       std::string csv_path = "");
+
+  /// Appends one row; the cell count must match the header.
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience overload formatting doubles with the given precision.
+  void AddRow(const std::vector<double>& cells, int precision = 4);
+
+  /// Prints the aligned table to stdout (header + all rows).
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string csv_path_;
+};
+
+/// Formats a double with fixed precision (helper for mixed-type rows).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_COMMON_CSV_H_

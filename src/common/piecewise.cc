@@ -1,0 +1,110 @@
+#include "common/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pverify {
+
+StepFunction::StepFunction(std::vector<double> breaks,
+                           std::vector<double> values)
+    : breaks_(std::move(breaks)), values_(std::move(values)) {
+  PV_CHECK_MSG(breaks_.size() == values_.size() + 1,
+               "breaks must have one more entry than values");
+  PV_CHECK_MSG(breaks_.size() >= 2, "need at least one piece");
+  for (size_t i = 0; i + 1 < breaks_.size(); ++i) {
+    PV_CHECK_MSG(breaks_[i] < breaks_[i + 1],
+                 "breakpoints must be strictly increasing");
+  }
+  for (double v : values_) {
+    PV_CHECK_MSG(v >= 0.0 && std::isfinite(v),
+                 "piece values must be finite and non-negative");
+  }
+  cum_.resize(breaks_.size());
+  cum_[0] = 0.0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    cum_[i + 1] = cum_[i] + values_[i] * (breaks_[i + 1] - breaks_[i]);
+  }
+}
+
+StepFunction StepFunction::Constant(double lo, double hi, double height) {
+  return StepFunction({lo, hi}, {height});
+}
+
+size_t StepFunction::PieceIndex(double x) const {
+  PV_DCHECK(!empty());
+  PV_DCHECK(x >= breaks_.front() && x <= breaks_.back());
+  // upper_bound gives the first break > x; the piece index is one less.
+  auto it = std::upper_bound(breaks_.begin(), breaks_.end(), x);
+  size_t idx = static_cast<size_t>(it - breaks_.begin());
+  if (idx == 0) return 0;
+  if (idx >= breaks_.size()) return values_.size() - 1;
+  return idx - 1;
+}
+
+double StepFunction::Value(double x) const {
+  if (empty() || x < breaks_.front() || x > breaks_.back()) return 0.0;
+  return values_[PieceIndex(x)];
+}
+
+double StepFunction::IntegralTo(double x) const {
+  if (empty() || x <= breaks_.front()) return 0.0;
+  if (x >= breaks_.back()) return cum_.back();
+  size_t i = PieceIndex(x);
+  return cum_[i] + values_[i] * (x - breaks_[i]);
+}
+
+double StepFunction::IntegralBetween(double a, double b) const {
+  if (b <= a) return 0.0;
+  return IntegralTo(b) - IntegralTo(a);
+}
+
+double StepFunction::InverseIntegral(double p) const {
+  PV_CHECK_MSG(!empty(), "inverse of empty function");
+  PV_CHECK_MSG(p >= 0.0 && p <= cum_.back() * (1.0 + 1e-12) + 1e-15,
+               "probability outside total mass");
+  p = std::min(p, cum_.back());
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), p);
+  size_t idx = static_cast<size_t>(it - cum_.begin());
+  if (idx == 0) return breaks_.front();
+  size_t piece = idx - 1;
+  // Skip zero-height pieces: land on the left edge of the next mass.
+  if (values_[piece] <= 0.0) return breaks_[idx];
+  return breaks_[piece] + (p - cum_[piece]) / values_[piece];
+}
+
+StepFunction StepFunction::Scaled(double factor) const {
+  PV_CHECK_MSG(factor >= 0.0, "negative scale factor");
+  std::vector<double> vals = values_;
+  for (double& v : vals) v *= factor;
+  return StepFunction(breaks_, std::move(vals));
+}
+
+StepFunction StepFunction::Normalized() const {
+  double mass = TotalMass();
+  PV_CHECK_MSG(mass > 0.0, "cannot normalize zero-mass function");
+  return Scaled(1.0 / mass);
+}
+
+std::vector<double> SortedUnique(std::vector<double> xs, double eps) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (double x : xs) {
+    if (out.empty() || x - out.back() > eps) out.push_back(x);
+  }
+  return out;
+}
+
+std::vector<double> MergeBreakpoints(const std::vector<double>& a,
+                                     const std::vector<double>& b,
+                                     double eps) {
+  std::vector<double> merged;
+  merged.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(merged));
+  return SortedUnique(std::move(merged), eps);
+}
+
+}  // namespace pverify

@@ -1,0 +1,49 @@
+// Wall-clock timing helpers used by the query executor and benchmarks.
+#ifndef PVERIFY_COMMON_TIMER_H_
+#define PVERIFY_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pverify {
+
+/// Monotonic stopwatch reporting elapsed time in milliseconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedUs() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed milliseconds into *sink on destruction.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double* sink) : sink_(sink) {}
+  ~ScopedTimerMs() { *sink_ += timer_.ElapsedMs(); }
+
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  double* sink_;
+  Timer timer_;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_COMMON_TIMER_H_

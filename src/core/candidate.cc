@@ -1,0 +1,96 @@
+#include "core/candidate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pverify {
+
+CandidateSet CandidateSet::Build1D(
+    const Dataset& dataset, const std::vector<uint32_t>& candidate_indices,
+    double q, int k) {
+  CandidateSet set;
+  set.items_.reserve(candidate_indices.size());
+  for (uint32_t idx : candidate_indices) {
+    PV_CHECK_MSG(idx < dataset.size(), "candidate index out of range");
+    const UncertainObject& obj = dataset[idx];
+    Candidate c;
+    c.id = obj.id();
+    c.dist = DistanceDistribution::From1D(obj.pdf(), q);
+    set.items_.push_back(std::move(c));
+  }
+  set.FinishConstruction(k);
+  return set;
+}
+
+CandidateSet CandidateSet::FromDistances(
+    std::vector<std::pair<ObjectId, DistanceDistribution>> dists, int k) {
+  CandidateSet set;
+  set.items_.reserve(dists.size());
+  for (auto& [id, dist] : dists) {
+    Candidate c;
+    c.id = id;
+    c.dist = std::move(dist);
+    set.items_.push_back(std::move(c));
+  }
+  set.FinishConstruction(k);
+  return set;
+}
+
+void CandidateSet::FinishConstruction(int k) {
+  PV_CHECK_MSG(k >= 1, "k must be positive");
+  if (items_.empty()) {
+    fmin_ = std::numeric_limits<double>::infinity();
+    fmax_ = -std::numeric_limits<double>::infinity();
+    return;
+  }
+  double fmin = std::numeric_limits<double>::infinity();
+  for (const Candidate& c : items_) fmin = std::min(fmin, c.dist.far());
+  // Prune objects whose near point lies beyond the k-th smallest far point:
+  // they provably have zero k-NN qualification probability. For k = 1 this
+  // is the paper's f_min rule that the verifier math assumes.
+  double fprune = fmin;
+  if (k > 1 && static_cast<size_t>(k) <= items_.size()) {
+    std::vector<double> fars;
+    fars.reserve(items_.size());
+    for (const Candidate& c : items_) fars.push_back(c.dist.far());
+    std::nth_element(fars.begin(), fars.begin() + (k - 1), fars.end());
+    fprune = fars[k - 1];
+  } else if (static_cast<size_t>(k) > items_.size()) {
+    fprune = std::numeric_limits<double>::infinity();
+  }
+  auto out = std::remove_if(items_.begin(), items_.end(),
+                            [fprune](const Candidate& c) {
+                              return c.dist.near() > fprune + 1e-12;
+                            });
+  items_.erase(out, items_.end());
+  std::sort(items_.begin(), items_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.dist.near() != b.dist.near()) {
+                return a.dist.near() < b.dist.near();
+              }
+              return a.id < b.id;
+            });
+  fmin_ = fmin;
+  fmax_ = -std::numeric_limits<double>::infinity();
+  for (const Candidate& c : items_) fmax_ = std::max(fmax_, c.dist.far());
+}
+
+size_t CandidateSet::CountUnknown() const {
+  size_t n = 0;
+  for (const Candidate& c : items_) {
+    if (c.label == Label::kUnknown) ++n;
+  }
+  return n;
+}
+
+std::vector<ObjectId> CandidateSet::SatisfyingIds() const {
+  std::vector<ObjectId> ids;
+  for (const Candidate& c : items_) {
+    if (c.label == Label::kSatisfy) ids.push_back(c.id);
+  }
+  return ids;
+}
+
+}  // namespace pverify

@@ -1,0 +1,73 @@
+// The candidate set: unpruned objects with their distance distributions,
+// probability bounds and labels (paper §III-B).
+#ifndef PVERIFY_CORE_CANDIDATE_H_
+#define PVERIFY_CORE_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.h"
+#include "uncertain/distance_distribution.h"
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+
+/// One member of the candidate set.
+struct Candidate {
+  ObjectId id = 0;
+  DistanceDistribution dist;
+  ProbabilityBound bound;
+  Label label = Label::kUnknown;
+};
+
+/// Candidate set C, ordered by ascending near point (the paper's X_1..X_|C|
+/// renaming). Construction computes every member's distance pdf/cdf — the
+/// initialization step of the verification framework (Fig. 5).
+class CandidateSet {
+ public:
+  CandidateSet() = default;
+
+  /// Builds from 1-D objects: computes distance distributions w.r.t. q,
+  /// drops objects that provably cannot be among the k nearest neighbors
+  /// (near point beyond the k-th smallest far point; k = 1 for a plain
+  /// PNN), and sorts by near point.
+  static CandidateSet Build1D(const Dataset& dataset,
+                              const std::vector<uint32_t>& candidate_indices,
+                              double q, int k = 1);
+
+  /// Builds from pre-computed distance distributions (used by the 2-D path
+  /// and by tests that construct distributions directly).
+  static CandidateSet FromDistances(
+      std::vector<std::pair<ObjectId, DistanceDistribution>> dists, int k = 1);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  Candidate& operator[](size_t i) { return items_[i]; }
+  const Candidate& operator[](size_t i) const { return items_[i]; }
+
+  std::vector<Candidate>& items() { return items_; }
+  const std::vector<Candidate>& items() const { return items_; }
+
+  /// Minimum far point f_min over the candidate set (+inf when empty).
+  double fmin() const { return fmin_; }
+  /// Maximum far point f_max over the candidate set (−inf when empty).
+  double fmax() const { return fmax_; }
+
+  /// Number of candidates still labeled kUnknown.
+  size_t CountUnknown() const;
+
+  /// IDs of candidates currently labeled kSatisfy.
+  std::vector<ObjectId> SatisfyingIds() const;
+
+ private:
+  void FinishConstruction(int k);
+
+  std::vector<Candidate> items_;
+  double fmin_ = 0.0;
+  double fmax_ = 0.0;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_CANDIDATE_H_

@@ -1,0 +1,24 @@
+#include "core/classifier.h"
+
+namespace pverify {
+
+Label Classify(const ProbabilityBound& bound, const CpnnParams& params) {
+  if (bound.upper < params.threshold) return Label::kFail;
+  if (bound.lower >= params.threshold ||
+      bound.width() <= params.tolerance) {
+    return Label::kSatisfy;
+  }
+  return Label::kUnknown;
+}
+
+size_t ClassifyAll(CandidateSet& candidates, const CpnnParams& params) {
+  size_t unknown = 0;
+  for (Candidate& c : candidates.items()) {
+    if (c.label != Label::kUnknown) continue;
+    c.label = Classify(c.bound, params);
+    if (c.label == Label::kUnknown) ++unknown;
+  }
+  return unknown;
+}
+
+}  // namespace pverify

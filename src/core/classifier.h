@@ -1,0 +1,23 @@
+// The classifier of the verification framework (paper §III-B): labels a
+// candidate by checking its probability bound against Definition 1.
+#ifndef PVERIFY_CORE_CLASSIFIER_H_
+#define PVERIFY_CORE_CLASSIFIER_H_
+
+#include "core/candidate.h"
+#include "core/types.h"
+
+namespace pverify {
+
+/// Labels one probability bound against threshold P and tolerance Δ:
+///  * kSatisfy iff upper >= P and (lower >= P or upper − lower <= Δ);
+///  * kFail    iff upper < P;
+///  * kUnknown otherwise.
+Label Classify(const ProbabilityBound& bound, const CpnnParams& params);
+
+/// Re-labels every still-unknown candidate from its current bound.
+/// Returns the number of candidates that remain kUnknown.
+size_t ClassifyAll(CandidateSet& candidates, const CpnnParams& params);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_CLASSIFIER_H_

@@ -1,0 +1,48 @@
+#include "core/framework.h"
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace pverify {
+
+VerificationFramework::VerificationFramework(CandidateSet* candidates,
+                                             CpnnParams params)
+    : candidates_(candidates), params_(params) {
+  PV_CHECK_MSG(candidates_ != nullptr && !candidates_->empty(),
+               "verification needs a non-empty candidate set");
+  params_.Validate();
+  Timer timer;
+  table_ = SubregionTable::Build(*candidates_);
+  ctx_ = std::make_unique<VerificationContext>(candidates_, &table_);
+  init_ms_ = timer.ElapsedMs();
+}
+
+VerificationStats VerificationFramework::Run(
+    const std::vector<std::unique_ptr<Verifier>>& chain) {
+  VerificationStats stats;
+  stats.init_ms = init_ms_;
+  size_t unknown = ClassifyAll(*candidates_, params_);
+  for (const auto& verifier : chain) {
+    if (unknown == 0) break;
+    Timer timer;
+    verifier->Apply(*ctx_);
+    unknown = ClassifyAll(*candidates_, params_);
+    StageStats stage;
+    stage.name = std::string(verifier->name());
+    stage.ms = timer.ElapsedMs();
+    stage.unknown_after = unknown;
+    for (const Candidate& c : candidates_->items()) {
+      if (c.label == Label::kSatisfy) ++stage.satisfy_after;
+      if (c.label == Label::kFail) ++stage.fail_after;
+    }
+    stats.stages.push_back(std::move(stage));
+  }
+  stats.unknown_after = unknown;
+  return stats;
+}
+
+VerificationStats VerificationFramework::RunDefault() {
+  return Run(MakeDefaultVerifierChain());
+}
+
+}  // namespace pverify

@@ -1,0 +1,64 @@
+// The verification framework (paper Fig. 5): initialization, the verifier →
+// classifier loop with early exit, and per-stage statistics used to
+// reproduce Fig. 12.
+#ifndef PVERIFY_CORE_FRAMEWORK_H_
+#define PVERIFY_CORE_FRAMEWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/subregion.h"
+#include "core/verifier.h"
+
+namespace pverify {
+
+/// Outcome of one verifier stage.
+struct StageStats {
+  std::string name;
+  double ms = 0.0;
+  size_t unknown_after = 0;
+  size_t satisfy_after = 0;
+  size_t fail_after = 0;
+};
+
+/// Outcome of the whole verification phase.
+struct VerificationStats {
+  double init_ms = 0.0;  ///< subregion-table construction
+  std::vector<StageStats> stages;
+  size_t unknown_after = 0;  ///< candidates left for refinement
+};
+
+/// Owns the subregion table and verification context for one query and runs
+/// a verifier chain with classification after every stage.
+class VerificationFramework {
+ public:
+  /// Builds the subregion table for the candidate set (initialization step).
+  /// The candidate set must stay alive for the framework's lifetime.
+  VerificationFramework(CandidateSet* candidates, CpnnParams params);
+
+  /// Runs the verifiers in order, classifying after each; stops as soon as
+  /// no candidate is unknown. Verifiers are skipped entirely once all
+  /// candidates are decided (the paper: "it is not always necessary for all
+  /// verifiers to be executed").
+  VerificationStats Run(const std::vector<std::unique_ptr<Verifier>>& chain);
+
+  /// Runs the paper's default chain {RS, L-SR, U-SR}.
+  VerificationStats RunDefault();
+
+  VerificationContext& context() { return *ctx_; }
+  const SubregionTable& table() const { return table_; }
+  const CpnnParams& params() const { return params_; }
+
+ private:
+  CandidateSet* candidates_;  // not owned
+  CpnnParams params_;
+  SubregionTable table_;
+  std::unique_ptr<VerificationContext> ctx_;
+  double init_ms_ = 0.0;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_FRAMEWORK_H_

@@ -1,0 +1,67 @@
+// Probabilistic k-NN extension (the paper's §VI future work).
+//
+// The k-NN qualification probability of candidate X_i is
+//
+//   p_i^(k) = ∫ d_i(r) · P[at most k−1 of the other R_j are below r] dr,
+//
+// where the inner probability is a Poisson-binomial tail over the other
+// candidates' distance cdfs, evaluated with the standard O(|C|·k) dynamic
+// program. Three pruning devices generalize the PNN machinery:
+//
+//  * k-th far point: with f^(k) the k-th smallest far point, any candidate
+//    whose distance exceeds f^(k) certainly has k closer objects, so the
+//    integration stops there and mass beyond it bounds p_i^(k) from above —
+//    the k-NN analogue of the RS verifier.
+//  * filtering: candidates with near point beyond f^(k) are dropped
+//    outright.
+//  * progressive refinement: the integral accumulates segment by segment,
+//    maintaining the bound [partial, partial + unintegrated mass]; the
+//    Definition 1 classifier decides most candidates long before the
+//    integral completes — the k-NN analogue of incremental refinement.
+#ifndef PVERIFY_CORE_KNN_H_
+#define PVERIFY_CORE_KNN_H_
+
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/refine.h"
+#include "core/types.h"
+
+namespace pverify {
+
+/// k-th smallest far point of the candidate set (k >= 1). Requires
+/// k <= |C|.
+double KthFarPoint(const CandidateSet& candidates, int k);
+
+/// RS-style upper bound for the k-NN probability of every candidate:
+/// p_i^(k) <= D_i(f^(k)).
+std::vector<double> KnnRsUpperBounds(const CandidateSet& candidates, int k);
+
+/// Exact k-NN qualification probabilities (Poisson-binomial integration).
+/// k = 1 reduces to the PNN probabilities.
+std::vector<double> ComputeKnnProbabilities(const CandidateSet& candidates,
+                                            int k,
+                                            const IntegrationOptions& options);
+
+/// Answer of a constrained k-NN query (threshold/tolerance semantics of
+/// Definition 1 applied to p_i^(k)).
+struct CknnAnswer {
+  std::vector<ObjectId> ids;
+  /// Final probability bound per candidate (candidate-set order);
+  /// zero-width iff the probability was integrated to completion.
+  std::vector<ProbabilityBound> bounds;
+  size_t pruned_by_bound = 0;   ///< rejected by the RS-style bound alone
+  size_t early_decided = 0;     ///< decided before the integral completed
+  size_t segments_evaluated = 0;  ///< quadrature segments actually computed
+};
+
+/// Evaluates a constrained probabilistic k-NN query over the candidate set:
+/// RS-style bound first, then progressive integration with Definition 1
+/// classification after every segment.
+CknnAnswer EvaluateCknn(const CandidateSet& candidates, int k,
+                        const CpnnParams& params,
+                        const IntegrationOptions& options);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_KNN_H_

@@ -1,0 +1,36 @@
+#include "core/monte_carlo.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace pverify {
+
+std::vector<double> MonteCarloProbabilities(const CandidateSet& candidates,
+                                            const MonteCarloOptions& options) {
+  PV_CHECK_MSG(options.samples > 0, "need at least one sample");
+  const size_t n = candidates.size();
+  std::vector<double> probs(n, 0.0);
+  if (n == 0) return probs;
+  Rng rng(options.seed);
+  std::vector<int> wins(n, 0);
+  for (int s = 0; s < options.samples; ++s) {
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_i = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double r = candidates[i].dist.Quantile(rng.Uniform(0.0, 1.0));
+      if (r < best) {
+        best = r;
+        best_i = i;
+      }
+    }
+    ++wins[best_i];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    probs[i] = static_cast<double>(wins[i]) / options.samples;
+  }
+  return probs;
+}
+
+}  // namespace pverify

@@ -1,0 +1,27 @@
+// Monte-Carlo PNN baseline, in the spirit of Kriegel et al. [9]: each
+// uncertain object is represented by samples drawn from its distance
+// distribution, and the qualification probability is estimated as the
+// fraction of joint draws in which the object is the nearest.
+#ifndef PVERIFY_CORE_MONTE_CARLO_H_
+#define PVERIFY_CORE_MONTE_CARLO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate.h"
+
+namespace pverify {
+
+struct MonteCarloOptions {
+  int samples = 1000;
+  uint64_t seed = 42;
+};
+
+/// Estimated qualification probabilities of every candidate, in set order.
+/// Standard error of each estimate is about sqrt(p(1−p)/samples).
+std::vector<double> MonteCarloProbabilities(const CandidateSet& candidates,
+                                            const MonteCarloOptions& options);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_MONTE_CARLO_H_

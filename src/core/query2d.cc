@@ -1,0 +1,58 @@
+#include "core/query2d.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/basic.h"
+
+namespace pverify {
+
+CpnnExecutor2D::CpnnExecutor2D(Dataset2D dataset, int radial_pieces)
+    : dataset_(std::move(dataset)),
+      filter_(dataset_),
+      radial_pieces_(radial_pieces) {
+  PV_CHECK_MSG(radial_pieces_ >= 4, "radial cdf needs at least 4 pieces");
+}
+
+CandidateSet CpnnExecutor2D::BuildCandidates(Point2 q) const {
+  FilterResult filtered = filter_.Filter(q);
+  std::vector<std::pair<ObjectId, DistanceDistribution>> dists;
+  dists.reserve(filtered.candidates.size());
+  for (uint32_t idx : filtered.candidates) {
+    dists.emplace_back(
+        dataset_[idx].id(),
+        MakeDistanceDistribution2D(dataset_[idx], q, radial_pieces_));
+  }
+  return CandidateSet::FromDistances(std::move(dists));
+}
+
+QueryAnswer CpnnExecutor2D::Execute(Point2 q,
+                                    const QueryOptions& options) const {
+  Timer total;
+  Timer t;
+  CandidateSet candidates = BuildCandidates(q);
+  double build_ms = t.ElapsedMs();
+  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options);
+  answer.stats.init_ms += build_ms;
+  answer.stats.dataset_size = dataset_.size();
+  answer.stats.total_ms = total.ElapsedMs();
+  return answer;
+}
+
+std::vector<std::pair<ObjectId, double>> CpnnExecutor2D::ComputePnn(
+    Point2 q, const IntegrationOptions& integration) const {
+  CandidateSet candidates = BuildCandidates(q);
+  std::vector<std::pair<ObjectId, double>> result;
+  if (candidates.empty()) return result;
+  std::vector<double> probs =
+      ComputeExactProbabilities(candidates, integration);
+  result.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    result.emplace_back(candidates[i].id, probs[i]);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace pverify

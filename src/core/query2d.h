@@ -1,0 +1,45 @@
+// First-class 2-D C-PNN execution: the paper's §IV-A extension hook made
+// concrete. The executor owns a 2-D R-tree for filtering, converts surviving
+// regions into distance distributions via exact geometry, and feeds them to
+// the same verification/refinement machinery as the 1-D case.
+#ifndef PVERIFY_CORE_QUERY2D_H_
+#define PVERIFY_CORE_QUERY2D_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+#include "uncertain/distance2d.h"
+
+namespace pverify {
+
+/// Executor over a fixed 2-D dataset of uniform-pdf rectangles and disks.
+class CpnnExecutor2D {
+ public:
+  /// `radial_pieces` controls the resolution of the radial-cdf
+  /// discretization (per object, per query).
+  explicit CpnnExecutor2D(Dataset2D dataset, int radial_pieces = 64);
+
+  const Dataset2D& dataset() const { return dataset_; }
+
+  /// Evaluates a C-PNN at query point q.
+  QueryAnswer Execute(Point2 q, const QueryOptions& options) const;
+
+  /// Exact qualification probability of every candidate (id, probability).
+  std::vector<std::pair<ObjectId, double>> ComputePnn(
+      Point2 q, const IntegrationOptions& integration = {}) const;
+
+  /// Filtering phase only.
+  FilterResult Filter(Point2 q) const { return filter_.Filter(q); }
+
+ private:
+  CandidateSet BuildCandidates(Point2 q) const;
+
+  Dataset2D dataset_;
+  PnnFilter2D filter_;
+  int radial_pieces_;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_QUERY2D_H_

@@ -1,0 +1,56 @@
+// Per-query execution statistics, mirroring the phase breakdown the paper
+// reports (filtering / verification / refinement, Fig. 11) plus verifier
+// stage outcomes (Fig. 12).
+#ifndef PVERIFY_CORE_STATS_H_
+#define PVERIFY_CORE_STATS_H_
+
+#include <cstddef>
+
+#include "core/framework.h"
+
+namespace pverify {
+
+struct QueryStats {
+  // Phase timings (milliseconds).
+  double filter_ms = 0.0;
+  double init_ms = 0.0;    ///< distance pdfs/cdfs + subregion table
+  double verify_ms = 0.0;  ///< verifier chain + classification
+  double refine_ms = 0.0;  ///< incremental refinement / exact integration
+  double total_ms = 0.0;
+
+  // Sizes.
+  size_t dataset_size = 0;
+  size_t candidates = 0;       ///< |C| after filtering
+  size_t num_subregions = 0;   ///< M
+
+  // Verification outcome.
+  VerificationStats verification;
+  size_t unknown_after_verification = 0;
+  bool finished_after_verification = false;
+
+  // Refinement outcome.
+  size_t refined_candidates = 0;
+  size_t subregion_integrations = 0;
+
+  void AccumulateInto(QueryStats& total) const {
+    total.filter_ms += filter_ms;
+    total.init_ms += init_ms;
+    total.verify_ms += verify_ms;
+    total.refine_ms += refine_ms;
+    total.total_ms += total_ms;
+    total.dataset_size += dataset_size;
+    total.candidates += candidates;
+    total.num_subregions += num_subregions;
+    total.unknown_after_verification += unknown_after_verification;
+    total.refined_candidates += refined_candidates;
+    total.subregion_integrations += subregion_integrations;
+    if (finished_after_verification) ++total.queries_finished_after_verify;
+  }
+
+  // Aggregation helper (only meaningful on an accumulator object).
+  size_t queries_finished_after_verify = 0;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_STATS_H_

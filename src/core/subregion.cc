@@ -1,0 +1,86 @@
+#include "core/subregion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/piecewise.h"
+
+namespace pverify {
+
+SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
+  PV_CHECK_MSG(!candidates.empty(), "subregion table needs candidates");
+  SubregionTable table;
+  const size_t n = candidates.size();
+  table.n_ = n;
+
+  const double fmin = candidates.fmin();
+  const double fmax = candidates.fmax();
+
+  // Gather end-points strictly below f_min: near points and distance-pdf
+  // change points (paper: circled values in Fig. 7). Everything inside
+  // [f_min, f_max] belongs to the undivided rightmost subregion.
+  std::vector<double> pts;
+  for (size_t i = 0; i < n; ++i) {
+    const Candidate& c = candidates[i];
+    for (double b : c.dist.breakpoints()) {
+      if (b < fmin - 1e-12) pts.push_back(b);
+    }
+  }
+  pts.push_back(fmin);
+  pts = SortedUnique(std::move(pts), 1e-12);
+
+  // endpoints_ = e_0 < e_1 < ... < e_{M-1} = f_min, then e_M = f_max.
+  table.endpoints_ = std::move(pts);
+  table.endpoints_.push_back(fmax);
+  const size_t m = table.endpoints_.size() - 1;  // number of subregions
+  PV_CHECK_MSG(m >= 1, "at least the rightmost subregion must exist");
+  table.m_ = m;
+
+  table.s_.assign(n * m, 0.0);
+  table.cdf_.assign(n * (m + 1), 0.0);
+  table.count_.assign(m, 0);
+  table.y_.assign(m + 1, 1.0);
+
+  for (size_t i = 0; i < n; ++i) {
+    const DistanceDistribution& dist = candidates[i].dist;
+    for (size_t j = 0; j <= m; ++j) {
+      table.cdf_[i * (m + 1) + j] = dist.Cdf(table.endpoints_[j]);
+    }
+    for (size_t j = 0; j < m; ++j) {
+      double sij = table.cdf_[i * (m + 1) + j + 1] -
+                   table.cdf_[i * (m + 1) + j];
+      sij = std::max(0.0, sij);
+      table.s_[i * m + j] = sij;
+      if (sij > kEps) ++table.count_[j];
+    }
+  }
+
+  for (size_t j = 0; j <= m; ++j) {
+    double y = 1.0;
+    for (size_t k = 0; k < n; ++k) {
+      y *= 1.0 - table.cdf_[k * (m + 1) + j];
+    }
+    table.y_[j] = y;
+  }
+  return table;
+}
+
+double SubregionTable::ProductExcluding(size_t i, size_t j) const {
+  PV_DCHECK(i < n_ && j <= m_);
+  const double di = cdf(i, j);
+  const double factor = 1.0 - di;
+  if (factor > 1e-8 && y_[j] > 0.0) {
+    return std::min(1.0, y_[j] / factor);
+  }
+  // Fallback: i's factor is ~0 (or Y_j underflowed); recompute directly.
+  double prod = 1.0;
+  for (size_t k = 0; k < n_; ++k) {
+    if (k == i) continue;
+    prod *= 1.0 - cdf(k, j);
+    if (prod == 0.0) break;
+  }
+  return prod;
+}
+
+}  // namespace pverify

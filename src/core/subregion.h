@@ -1,0 +1,84 @@
+// Subregion machinery (paper §IV-A, Fig. 7, Table II).
+//
+// End-points are the sorted union of: every candidate's near point, every
+// distance-pdf change point below f_min, and finally f_min and f_max. The
+// adjacent end-point pairs form subregions S_1..S_M; the rightmost subregion
+// S_M = [f_min, f_max] is never subdivided. Because a distance-pdf change
+// point is always an end-point, every candidate's distance pdf is constant
+// inside each subregion below f_min — the property that makes Lemma 3's
+// symmetry argument (and hence the L-SR/U-SR bounds) sound.
+//
+// For each candidate i and subregion j the table stores the subregion
+// probability s_ij = P(R_i ∈ S_j) and the cdf value D_i(e_j); it also
+// precomputes the per-subregion participant counts c_j and the products
+// Y_j = Π_k (1 − D_k(e_j)) used by the verifiers (Eq. 2).
+#ifndef PVERIFY_CORE_SUBREGION_H_
+#define PVERIFY_CORE_SUBREGION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/candidate.h"
+
+namespace pverify {
+
+class SubregionTable {
+ public:
+  SubregionTable() = default;
+
+  /// Builds the table for the candidate set. Requires a non-empty set.
+  static SubregionTable Build(const CandidateSet& candidates);
+
+  /// Number of subregions M (>= 1). Subregion indices are 0-based: the
+  /// rightmost subregion of the paper (S_M) is index M-1 here.
+  size_t num_subregions() const { return m_; }
+
+  size_t num_candidates() const { return n_; }
+
+  /// j-th end-point e_j, j ∈ [0, M]. endpoint(M-1) == f_min,
+  /// endpoint(M) == f_max (they coincide when the rightmost subregion is
+  /// degenerate).
+  double endpoint(size_t j) const { return endpoints_[j]; }
+
+  double fmin() const { return endpoints_[m_ - 1]; }
+  double fmax() const { return endpoints_[m_]; }
+
+  /// Subregion probability s_ij = P(R_i ∈ S_j).
+  double s(size_t i, size_t j) const { return s_[i * m_ + j]; }
+
+  /// Distance cdf value D_i(e_j), j ∈ [0, M].
+  double cdf(size_t i, size_t j) const { return cdf_[i * (m_ + 1) + j]; }
+
+  /// c_j: number of candidates with s_ij > 0.
+  int count(size_t j) const { return count_[j]; }
+
+  /// Y_j = Π_{k} (1 − D_k(e_j)) over all candidates (factors of 1 for
+  /// candidates with D_k(e_j) = 0), j ∈ [0, M].
+  double Y(size_t j) const { return y_[j]; }
+
+  /// Π_{k ≠ i} (1 − D_k(e_j)): the Pr(E)-style product used by L-SR
+  /// (Lemma 2) and U-SR (Eq. 5). Computed by dividing i's factor out of Y_j,
+  /// with a direct-product fallback when the factor is too small to divide
+  /// by safely.
+  double ProductExcluding(size_t i, size_t j) const;
+
+  /// True when s_ij is (numerically) positive.
+  bool Participates(size_t i, size_t j) const {
+    return s(i, j) > kEps;
+  }
+
+  static constexpr double kEps = 1e-15;
+
+ private:
+  size_t n_ = 0;  // number of candidates
+  size_t m_ = 0;  // number of subregions M
+  std::vector<double> endpoints_;  // M+1 entries; last two may coincide
+  std::vector<double> s_;          // n × M
+  std::vector<double> cdf_;        // n × (M+1)
+  std::vector<int> count_;         // M
+  std::vector<double> y_;          // M+1
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_SUBREGION_H_

@@ -1,0 +1,78 @@
+#include "core/subregion_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace pverify {
+
+PagedSubregionStore PagedSubregionStore::Build(const SubregionTable& table,
+                                               const Options& options) {
+  PV_CHECK_MSG(options.page_bytes >= sizeof(SubregionEntry),
+               "page must hold at least one entry");
+  PagedSubregionStore store;
+  store.page_bytes_ = options.page_bytes;
+  store.entries_per_page_ = options.page_bytes / sizeof(SubregionEntry);
+
+  const size_t m = table.num_subregions();
+  const size_t n = table.num_candidates();
+  store.directory_.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    PageRange& range = store.directory_[j];
+    range.first_page = static_cast<uint32_t>(store.pages_.size());
+    std::vector<SubregionEntry> current;
+    current.reserve(store.entries_per_page_);
+    uint32_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (!table.Participates(i, j)) continue;
+      current.push_back(SubregionEntry{static_cast<uint32_t>(i),
+                                       table.s(i, j), table.cdf(i, j)});
+      ++count;
+      if (current.size() == store.entries_per_page_) {
+        store.pages_.push_back(std::move(current));
+        current.clear();
+        current.reserve(store.entries_per_page_);
+      }
+    }
+    if (!current.empty()) store.pages_.push_back(std::move(current));
+    range.num_entries = count;
+  }
+  return store;
+}
+
+size_t PagedSubregionStore::ListLength(size_t j) const {
+  PV_CHECK_MSG(j < directory_.size(), "subregion index out of range");
+  return directory_[j].num_entries;
+}
+
+void PagedSubregionStore::ForEachEntry(
+    size_t j,
+    const std::function<void(const SubregionEntry&)>& fn) const {
+  PV_CHECK_MSG(j < directory_.size(), "subregion index out of range");
+  const PageRange& range = directory_[j];
+  size_t remaining = range.num_entries;
+  size_t page = range.first_page;
+  while (remaining > 0) {
+    ++page_reads_;
+    const std::vector<SubregionEntry>& entries = pages_[page];
+    for (const SubregionEntry& e : entries) {
+      fn(e);
+    }
+    PV_DCHECK(entries.size() <= remaining);
+    remaining -= entries.size();
+    ++page;
+  }
+}
+
+std::vector<double> RsUpperBoundsFromStore(const PagedSubregionStore& store,
+                                           size_t num_candidates) {
+  std::vector<double> upper(num_candidates, 1.0);
+  const size_t m = store.num_subregions();
+  if (m == 0) return upper;
+  store.ForEachEntry(m - 1, [&upper](const SubregionEntry& e) {
+    if (e.candidate < upper.size()) upper[e.candidate] = 1.0 - e.s;
+  });
+  return upper;
+}
+
+}  // namespace pverify

@@ -1,0 +1,91 @@
+// Page-partitioned layout of the subregion lists (paper §IV-D: "We store
+// the subregion probabilities (s_ij) and the distance cdf values (D_i(e_j))
+// for all objects in the same subregion as a list. These lists are indexed
+// by a hash table... It can be extended to a disk-based structure by
+// partitioning the lists into disk pages.").
+//
+// This module implements that disk layout faithfully in memory: each
+// subregion's (candidate, s_ij, D_i(e_j)) entries are packed into
+// fixed-size pages, a directory maps subregion → page range, and every page
+// access is counted — so the I/O behaviour of a disk-resident deployment
+// can be measured without an actual disk (see DESIGN.md, substitution
+// rules). Verifier passes can run directly against the store.
+#ifndef PVERIFY_CORE_SUBREGION_STORE_H_
+#define PVERIFY_CORE_SUBREGION_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/subregion.h"
+
+namespace pverify {
+
+/// One (candidate, s_ij, D_i(e_j)) record of a subregion list.
+struct SubregionEntry {
+  uint32_t candidate = 0;  ///< index into the candidate set
+  double s = 0.0;          ///< s_ij
+  double cdf = 0.0;        ///< D_i(e_j)
+};
+
+class PagedSubregionStore {
+ public:
+  struct Options {
+    /// Page capacity in bytes; entries never straddle a page boundary.
+    size_t page_bytes = 4096;
+  };
+
+  /// Packs the table's per-subregion lists into pages. Only candidates with
+  /// s_ij > 0 appear in subregion j's list (the paper's list layout).
+  static PagedSubregionStore Build(const SubregionTable& table,
+                                   const Options& options);
+
+  /// Build with default options (4 KiB pages).
+  static PagedSubregionStore Build(const SubregionTable& table) {
+    return Build(table, Options{});
+  }
+
+  size_t num_subregions() const { return directory_.size(); }
+  size_t num_pages() const { return pages_.size(); }
+  size_t entries_per_page() const { return entries_per_page_; }
+
+  /// Total bytes of page storage (pages × page size).
+  size_t StorageBytes() const { return pages_.size() * page_bytes_; }
+
+  /// Number of entries in subregion j's list (== c_j of the table).
+  size_t ListLength(size_t j) const;
+
+  /// Visits every entry of subregion j, charging one page read per page
+  /// touched.
+  void ForEachEntry(size_t j,
+                    const std::function<void(const SubregionEntry&)>& fn)
+      const;
+
+  /// Pages read since construction / the last ResetCounters().
+  size_t page_reads() const { return page_reads_; }
+  void ResetCounters() { page_reads_ = 0; }
+
+ private:
+  struct PageRange {
+    uint32_t first_page = 0;
+    uint32_t num_entries = 0;
+  };
+
+  std::vector<PageRange> directory_;          // one per subregion
+  std::vector<std::vector<SubregionEntry>> pages_;
+  size_t page_bytes_ = 4096;
+  size_t entries_per_page_ = 0;
+  mutable size_t page_reads_ = 0;
+};
+
+/// Runs an RS-equivalent pass against the paged store: for each candidate,
+/// upper bound = 1 − s_iM read from the rightmost subregion's list. Returns
+/// the per-candidate upper bounds. Demonstrates (and lets benches measure)
+/// verifier I/O against the disk layout.
+std::vector<double> RsUpperBoundsFromStore(const PagedSubregionStore& store,
+                                           size_t num_candidates);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_SUBREGION_STORE_H_

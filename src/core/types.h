@@ -1,0 +1,73 @@
+// Shared value types for C-PNN evaluation (paper §III-A, Definition 1).
+#ifndef PVERIFY_CORE_TYPES_H_
+#define PVERIFY_CORE_TYPES_H_
+
+#include <algorithm>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace pverify {
+
+/// Classification state of a candidate during verification (paper §III-B).
+enum class Label {
+  kUnknown,  ///< bounds are not yet conclusive
+  kSatisfy,  ///< provably part of the C-PNN answer
+  kFail,     ///< provably not part of the answer
+};
+
+inline std::string_view ToString(Label label) {
+  switch (label) {
+    case Label::kUnknown:
+      return "unknown";
+    case Label::kSatisfy:
+      return "satisfy";
+    case Label::kFail:
+      return "fail";
+  }
+  return "?";
+}
+
+/// The constraint parameters of a C-PNN: threshold P ∈ (0,1] and tolerance
+/// Δ ∈ [0,1].
+struct CpnnParams {
+  double threshold = 0.3;
+  double tolerance = 0.01;
+
+  void Validate() const {
+    PV_CHECK_MSG(threshold > 0.0 && threshold <= 1.0,
+                 "threshold P must be in (0, 1]");
+    PV_CHECK_MSG(tolerance >= 0.0 && tolerance <= 1.0,
+                 "tolerance must be in [0, 1]");
+  }
+};
+
+/// A closed interval [lower, upper] known to contain a qualification
+/// probability. Verifiers only ever tighten it.
+struct ProbabilityBound {
+  double lower = 0.0;
+  double upper = 1.0;
+
+  double width() const { return upper - lower; }
+
+  /// Intersects with [l, u]; keeps the tighter side of each bound. Small
+  /// numerical crossings (lower slightly above upper) are snapped together.
+  void Tighten(double l, double u) {
+    lower = std::max(lower, l);
+    upper = std::min(upper, u);
+    if (lower > upper) {
+      // Valid bounds can only cross through floating-point noise; collapse
+      // to the midpoint to stay a legal interval.
+      double mid = 0.5 * (lower + upper);
+      lower = upper = mid;
+    }
+  }
+
+  bool Contains(double p, double slack = 1e-9) const {
+    return p >= lower - slack && p <= upper + slack;
+  }
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_TYPES_H_

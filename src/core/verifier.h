@@ -1,0 +1,98 @@
+// Probabilistic verifier interface and the verification context shared by
+// the verifier chain (paper §IV).
+//
+// A verifier inspects the subregion table and tightens the probability
+// bounds of still-unknown candidates; the classifier then re-labels them.
+// Verifiers additionally record per-subregion qualification-probability
+// bounds [q_ij.l, q_ij.u] in the context so that incremental refinement
+// (§IV-D) can collapse them one subregion at a time.
+#ifndef PVERIFY_CORE_VERIFIER_H_
+#define PVERIFY_CORE_VERIFIER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/candidate.h"
+#include "core/subregion.h"
+#include "core/types.h"
+
+namespace pverify {
+
+/// Mutable state threaded through the verifier chain and into refinement.
+struct VerificationContext {
+  VerificationContext(CandidateSet* cands, const SubregionTable* tbl)
+      : candidates(cands), table(tbl) {
+    const size_t n = tbl->num_candidates();
+    const size_t m = tbl->num_subregions();
+    qlow.assign(n * m, 0.0);
+    qup.assign(n * m, 1.0);
+    // The rightmost subregion carries zero qualification probability
+    // (paper: "the probability of any object in S_M must be zero").
+    for (size_t i = 0; i < n; ++i) qup[i * m + (m - 1)] = 0.0;
+  }
+
+  double& QLow(size_t i, size_t j) {
+    return qlow[i * table->num_subregions() + j];
+  }
+  double& QUp(size_t i, size_t j) {
+    return qup[i * table->num_subregions() + j];
+  }
+  double QLow(size_t i, size_t j) const {
+    return qlow[i * table->num_subregions() + j];
+  }
+  double QUp(size_t i, size_t j) const {
+    return qup[i * table->num_subregions() + j];
+  }
+
+  /// Recomputes candidate i's probability bound from the per-subregion
+  /// bounds (Eq. 4 and its upper-bound analogue) and tightens it.
+  void RefreshBound(size_t i);
+
+  CandidateSet* candidates;    // not owned
+  const SubregionTable* table;  // not owned
+  std::vector<double> qlow;  // n × M per-subregion lower bounds q_ij.l
+  std::vector<double> qup;   // n × M per-subregion upper bounds q_ij.u
+};
+
+/// Base class for the probabilistic verifiers of §IV.
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Tightens bounds of candidates labeled kUnknown.
+  virtual void Apply(VerificationContext& ctx) = 0;
+};
+
+/// The Rightmost-Subregion verifier (§IV-B, Lemma 1): p_i.u <= 1 − s_iM.
+/// Cost O(|C|).
+class RsVerifier : public Verifier {
+ public:
+  std::string_view name() const override { return "RS"; }
+  void Apply(VerificationContext& ctx) override;
+};
+
+/// The Lower-Subregion verifier (§IV-C, Lemma 2 + Eq. 4): per-subregion
+/// lower bounds q_ij.l = (1/c_j)·Π_{k≠i}(1 − D_k(e_j)). Cost O(|C|·M).
+class LsrVerifier : public Verifier {
+ public:
+  std::string_view name() const override { return "L-SR"; }
+  void Apply(VerificationContext& ctx) override;
+};
+
+/// The Upper-Subregion verifier (§IV-C, Eq. 5/11 + Appendix I): per-
+/// subregion upper bounds q_ij.u = ½(Pr(F) + Pr(E)). Cost O(|C|·M).
+class UsrVerifier : public Verifier {
+ public:
+  std::string_view name() const override { return "U-SR"; }
+  void Apply(VerificationContext& ctx) override;
+};
+
+/// The paper's default chain {RS, L-SR, U-SR}, ordered by running cost.
+std::vector<std::unique_ptr<Verifier>> MakeDefaultVerifierChain();
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_VERIFIER_H_

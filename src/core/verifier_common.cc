@@ -1,0 +1,31 @@
+#include "core/verifier.h"
+
+namespace pverify {
+
+void VerificationContext::RefreshBound(size_t i) {
+  const SubregionTable& tbl = *table;
+  const size_t m = tbl.num_subregions();
+  double lower = 0.0;
+  double upper = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    const double sij = tbl.s(i, j);
+    if (sij <= SubregionTable::kEps) continue;
+    lower += sij * QLow(i, j);
+    upper += sij * QUp(i, j);
+  }
+  // The subregion probabilities of a proper distance distribution sum to 1,
+  // but guard against discretization residue pushing the sums out of range.
+  lower = std::min(1.0, std::max(0.0, lower));
+  upper = std::min(1.0, std::max(lower, upper));
+  (*candidates)[i].bound.Tighten(lower, upper);
+}
+
+std::vector<std::unique_ptr<Verifier>> MakeDefaultVerifierChain() {
+  std::vector<std::unique_ptr<Verifier>> chain;
+  chain.push_back(std::make_unique<RsVerifier>());
+  chain.push_back(std::make_unique<LsrVerifier>());
+  chain.push_back(std::make_unique<UsrVerifier>());
+  return chain;
+}
+
+}  // namespace pverify

@@ -1,0 +1,128 @@
+#include "datagen/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pverify {
+namespace datagen {
+namespace {
+
+Pdf MakeObjectPdf(PdfKind kind, double lo, double hi, int gaussian_bars,
+                  size_t index) {
+  switch (kind) {
+    case PdfKind::kUniform:
+      return MakeUniformPdf(lo, hi);
+    case PdfKind::kGaussian:
+      return MakeGaussianPdf(lo, hi, gaussian_bars);
+    case PdfKind::kTriangular:
+      return MakeTriangularPdf(lo, hi, 32);
+    case PdfKind::kMixed:
+      switch (index % 3) {
+        case 0:
+          return MakeUniformPdf(lo, hi);
+        case 1:
+          return MakeGaussianPdf(lo, hi, gaussian_bars);
+        default:
+          return MakeTriangularPdf(lo, hi, 32);
+      }
+  }
+  return MakeUniformPdf(lo, hi);
+}
+
+}  // namespace
+
+Dataset MakeSynthetic(const SyntheticConfig& config) {
+  PV_CHECK_MSG(config.count > 0, "empty dataset requested");
+  PV_CHECK_MSG(config.domain_hi > config.domain_lo, "bad domain");
+  PV_CHECK_MSG(config.mean_length > 0.0, "bad mean length");
+  Rng rng(config.seed);
+
+  std::vector<double> cluster_centers;
+  cluster_centers.reserve(config.num_clusters);
+  for (int c = 0; c < config.num_clusters; ++c) {
+    cluster_centers.push_back(rng.Uniform(config.domain_lo,
+                                          config.domain_hi));
+  }
+
+  Dataset dataset;
+  dataset.reserve(config.count);
+  const double domain_w = config.domain_hi - config.domain_lo;
+  for (size_t i = 0; i < config.count; ++i) {
+    double center;
+    if (!cluster_centers.empty() &&
+        rng.Bernoulli(config.cluster_fraction)) {
+      double c = cluster_centers[static_cast<size_t>(
+          rng.UniformInt(0, config.num_clusters - 1))];
+      center = rng.Gaussian(c, config.cluster_stddev);
+    } else {
+      center = rng.Uniform(config.domain_lo, config.domain_hi);
+    }
+    center = std::clamp(center, config.domain_lo, config.domain_hi);
+    // Skewed (exponential) lengths: most uncertainty regions are short, a
+    // few are long — the shape of road-segment extents.
+    double len = std::min(config.max_length,
+                          rng.Exponential(1.0 / config.mean_length));
+    len = std::max(len, domain_w * 1e-9);  // keep regions non-degenerate
+    double lo = std::max(config.domain_lo, center - 0.5 * len);
+    double hi = std::min(config.domain_hi, lo + len);
+    if (hi <= lo) {
+      lo = std::max(config.domain_lo, hi - domain_w * 1e-9);
+      hi = lo + domain_w * 1e-9;
+    }
+    dataset.emplace_back(
+        static_cast<ObjectId>(i),
+        MakeObjectPdf(config.pdf, lo, hi, config.gaussian_bars, i));
+  }
+  return dataset;
+}
+
+Dataset MakeLongBeachLike(PdfKind pdf, uint64_t seed) {
+  SyntheticConfig config;
+  config.pdf = pdf;
+  config.seed = seed;
+  return MakeSynthetic(config);
+}
+
+Dataset MakeUniformScatter(size_t count, double domain_hi, double mean_length,
+                           uint64_t seed) {
+  SyntheticConfig config;
+  config.count = count;
+  config.domain_hi = domain_hi;
+  config.mean_length = mean_length;
+  config.cluster_fraction = 0.0;
+  config.num_clusters = 0;
+  config.seed = seed;
+  return MakeSynthetic(config);
+}
+
+Dataset2D MakeSynthetic2D(const Synthetic2DConfig& config) {
+  PV_CHECK_MSG(config.count > 0, "empty dataset requested");
+  Rng rng(config.seed);
+  Dataset2D dataset;
+  dataset.reserve(config.count);
+  for (size_t i = 0; i < config.count; ++i) {
+    double ext = std::min(config.max_extent,
+                          std::max(0.25, rng.Exponential(
+                                             1.0 / config.mean_extent)));
+    double cx = rng.Uniform(0.0, config.domain);
+    double cy = rng.Uniform(0.0, config.domain);
+    if (rng.Bernoulli(config.circle_fraction)) {
+      dataset.emplace_back(static_cast<ObjectId>(i),
+                           Circle2{cx, cy, 0.5 * ext});
+    } else {
+      double w = ext;
+      double h = std::min(config.max_extent,
+                          std::max(0.25, rng.Exponential(
+                                             1.0 / config.mean_extent)));
+      dataset.emplace_back(
+          static_cast<ObjectId>(i),
+          Rect2{cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h});
+    }
+  }
+  return dataset;
+}
+
+}  // namespace datagen
+}  // namespace pverify

@@ -1,0 +1,30 @@
+#include "datagen/workload.h"
+
+#include "common/rng.h"
+
+namespace pverify {
+namespace datagen {
+
+std::vector<double> MakeQueryPoints(size_t count, double lo, double hi,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> points(count);
+  for (double& p : points) p = rng.Uniform(lo, hi);
+  return points;
+}
+
+WorkloadResult RunWorkload(const CpnnExecutor& executor,
+                           const std::vector<double>& query_points,
+                           const QueryOptions& options) {
+  WorkloadResult result;
+  for (double q : query_points) {
+    QueryAnswer answer = executor.Execute(q, options);
+    answer.stats.AccumulateInto(result.totals);
+    result.answers += answer.ids.size();
+    ++result.queries;
+  }
+  return result;
+}
+
+}  // namespace datagen
+}  // namespace pverify

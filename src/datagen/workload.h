@@ -1,0 +1,56 @@
+// Query workloads: randomly generated query points, averaged over a batch of
+// queries exactly like the paper ("Each point in the graph is an average of
+// the results for 100 queries").
+#ifndef PVERIFY_DATAGEN_WORKLOAD_H_
+#define PVERIFY_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+namespace datagen {
+
+/// Uniformly random query points over [lo, hi].
+std::vector<double> MakeQueryPoints(size_t count, double lo, double hi,
+                                    uint64_t seed = 101);
+
+/// Aggregated outcome of running a workload with one strategy.
+struct WorkloadResult {
+  QueryStats totals;          ///< accumulated stats (AccumulateInto)
+  size_t queries = 0;
+  size_t answers = 0;         ///< total number of returned object ids
+
+  double AvgTotalMs() const { return queries ? totals.total_ms / queries : 0; }
+  double AvgFilterMs() const {
+    return queries ? totals.filter_ms / queries : 0;
+  }
+  double AvgInitMs() const { return queries ? totals.init_ms / queries : 0; }
+  double AvgVerifyMs() const {
+    return queries ? totals.verify_ms / queries : 0;
+  }
+  double AvgRefineMs() const {
+    return queries ? totals.refine_ms / queries : 0;
+  }
+  double AvgCandidates() const {
+    return queries ? static_cast<double>(totals.candidates) / queries : 0;
+  }
+  double FractionFinishedAfterVerify() const {
+    return queries ? static_cast<double>(
+                         totals.queries_finished_after_verify) /
+                         queries
+                   : 0;
+  }
+};
+
+/// Runs every query point through the executor with the given options.
+WorkloadResult RunWorkload(const CpnnExecutor& executor,
+                           const std::vector<double>& query_points,
+                           const QueryOptions& options);
+
+}  // namespace datagen
+}  // namespace pverify
+
+#endif  // PVERIFY_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,130 @@
+#include "spatial/filter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace pverify {
+namespace {
+
+// f_min is a distance to a real object, so tiny numerical slack when
+// comparing MINDIST against it keeps boundary objects (n_i == f_min) in the
+// candidate set, matching the zero-probability-but-unpruned convention.
+constexpr double kBoundarySlack = 1e-12;
+
+}  // namespace
+
+PnnFilter::PnnFilter(const Dataset& dataset) : dataset_(&dataset) {
+  std::vector<RTree<1, uint32_t>::Entry> entries;
+  entries.reserve(dataset.size());
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    entries.push_back({MakeInterval(dataset[i].lo(), dataset[i].hi()), i});
+  }
+  rtree_ = RTree<1, uint32_t>::BulkLoadSTR(std::move(entries));
+}
+
+FilterResult PnnFilter::Filter(double q) const {
+  FilterResult result;
+  if (rtree_.empty()) return result;
+  std::array<double, 1> pt = {q};
+  result.fmin = rtree_.MinFarPoint(pt);
+  result.candidates =
+      rtree_.WithinDistance(pt, result.fmin + kBoundarySlack);
+  std::sort(result.candidates.begin(), result.candidates.end());
+  return result;
+}
+
+PnnFilter2D::PnnFilter2D(const Dataset2D& dataset) : dataset_(&dataset) {
+  std::vector<RTree<2, uint32_t>::Entry> entries;
+  entries.reserve(dataset.size());
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    const UncertainObject2D& obj = dataset[i];
+    Mbr<2> mbr;
+    if (obj.is_rect()) {
+      mbr = MakeBox(obj.rect().x1, obj.rect().y1, obj.rect().x2,
+                    obj.rect().y2);
+    } else {
+      const Circle2& c = obj.circle();
+      mbr = MakeBox(c.cx - c.r, c.cy - c.r, c.cx + c.r, c.cy + c.r);
+    }
+    entries.push_back({mbr, i});
+  }
+  rtree_ = RTree<2, uint32_t>::BulkLoadSTR(std::move(entries));
+}
+
+FilterResult PnnFilter2D::Filter(Point2 q) const {
+  FilterResult result;
+  if (rtree_.empty()) return result;
+  std::array<double, 2> pt = {q.x, q.y};
+  // The MBR MAXDIST over-estimates a disk's true far point (corner vs.
+  // tangent), so refine f_min with exact region distances over a small
+  // superset fetched with the MBR bound.
+  double fmin_mbr = rtree_.MinFarPoint(pt);
+  double fmin = std::numeric_limits<double>::infinity();
+  for (uint32_t idx : rtree_.WithinDistance(pt, fmin_mbr + kBoundarySlack)) {
+    fmin = std::min(fmin, (*dataset_)[idx].MaxDist(q));
+  }
+  result.fmin = fmin;
+  std::vector<uint32_t> coarse =
+      rtree_.WithinDistance(pt, fmin + kBoundarySlack);
+  for (uint32_t idx : coarse) {
+    if ((*dataset_)[idx].MinDist(q) <= fmin + kBoundarySlack) {
+      result.candidates.push_back(idx);
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end());
+  return result;
+}
+
+FilterResult FilterByScan(const Dataset& dataset, double q) {
+  FilterResult result;
+  if (dataset.empty()) return result;
+  double fmin = std::numeric_limits<double>::infinity();
+  for (const UncertainObject& obj : dataset) {
+    fmin = std::min(fmin, obj.MaxDist(q));
+  }
+  result.fmin = fmin;
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].MinDist(q) <= fmin + kBoundarySlack) {
+      result.candidates.push_back(i);
+    }
+  }
+  return result;
+}
+
+FilterResult FilterKByScan(const Dataset& dataset, double q, int k) {
+  PV_CHECK_MSG(k >= 1, "k must be positive");
+  FilterResult result;
+  if (dataset.empty()) return result;
+  std::vector<double> fars;
+  fars.reserve(dataset.size());
+  for (const UncertainObject& obj : dataset) fars.push_back(obj.MaxDist(q));
+  size_t kth = std::min(dataset.size(), static_cast<size_t>(k)) - 1;
+  std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
+  result.fmin = fars[kth];
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].MinDist(q) <= result.fmin + kBoundarySlack) {
+      result.candidates.push_back(i);
+    }
+  }
+  return result;
+}
+
+FilterResult FilterByScan2D(const Dataset2D& dataset, Point2 q) {
+  FilterResult result;
+  if (dataset.empty()) return result;
+  double fmin = std::numeric_limits<double>::infinity();
+  for (const UncertainObject2D& obj : dataset) {
+    fmin = std::min(fmin, obj.MaxDist(q));
+  }
+  result.fmin = fmin;
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].MinDist(q) <= fmin + kBoundarySlack) {
+      result.candidates.push_back(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace pverify

@@ -1,0 +1,69 @@
+// The filtering phase of the C-PNN framework (paper Fig. 3, first stage;
+// technique of [8]).
+//
+// Objects whose minimum distance from q exceeds f_min — the smallest maximum
+// distance of any object — can never be the nearest neighbor and are pruned
+// with zero I/O over their pdfs. The survivors form the candidate set that
+// verification operates on.
+#ifndef PVERIFY_SPATIAL_FILTER_H_
+#define PVERIFY_SPATIAL_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/rtree.h"
+#include "uncertain/distance2d.h"
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+
+/// Result of the filtering phase.
+struct FilterResult {
+  /// f_min: minimum over all objects of MAXDIST(q, object).
+  double fmin = 0.0;
+  /// Indices (into the dataset) of objects with MINDIST <= f_min, i.e. the
+  /// candidate set C.
+  std::vector<uint32_t> candidates;
+};
+
+/// Index over a 1-D dataset for repeated PNN filtering.
+class PnnFilter {
+ public:
+  /// Builds an STR-bulk-loaded R-tree over the objects' intervals.
+  explicit PnnFilter(const Dataset& dataset);
+
+  /// Runs the filtering phase for query point q.
+  FilterResult Filter(double q) const;
+
+  const RTree<1, uint32_t>& rtree() const { return rtree_; }
+
+ private:
+  RTree<1, uint32_t> rtree_;
+  const Dataset* dataset_;  // not owned
+};
+
+/// Index over a 2-D dataset for repeated PNN filtering.
+class PnnFilter2D {
+ public:
+  explicit PnnFilter2D(const Dataset2D& dataset);
+
+  FilterResult Filter(Point2 q) const;
+
+ private:
+  RTree<2, uint32_t> rtree_;
+  const Dataset2D* dataset_;  // not owned
+};
+
+/// Reference implementation: linear scan over the dataset. Used by tests to
+/// validate the R-tree-based filter and by benches as an ablation baseline.
+FilterResult FilterByScan(const Dataset& dataset, double q);
+FilterResult FilterByScan2D(const Dataset2D& dataset, Point2 q);
+
+/// k-NN filtering by scan: fmin becomes the k-th smallest far point and
+/// candidates are the objects whose near point does not exceed it. Used by
+/// the C-PkNN extension.
+FilterResult FilterKByScan(const Dataset& dataset, double q, int k);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_SPATIAL_FILTER_H_

@@ -1,0 +1,57 @@
+#include "uncertain/distance2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pverify {
+
+double UncertainObject2D::Area() const {
+  if (is_rect()) return rect().Area();
+  return circle().Area();
+}
+
+double UncertainObject2D::MinDist(Point2 q) const {
+  if (is_rect()) return MinDistToRect(q, rect());
+  return MinDistToCircle(q, circle());
+}
+
+double UncertainObject2D::MaxDist(Point2 q) const {
+  if (is_rect()) return MaxDistToRect(q, rect());
+  return MaxDistToCircle(q, circle());
+}
+
+double UncertainObject2D::AreaWithinDistance(Point2 q, double r) const {
+  if (is_rect()) return CircleRectIntersectionArea(q, r, rect());
+  return CircleCircleIntersectionArea(q, r, circle());
+}
+
+DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
+                                                Point2 q, int pieces) {
+  PV_CHECK_MSG(pieces >= 1, "need at least one piece");
+  const double near = obj.MinDist(q);
+  const double far = obj.MaxDist(q);
+  PV_CHECK_MSG(far > near, "degenerate 2-D region");
+  const double area = obj.Area();
+  PV_CHECK_MSG(area > 0.0, "2-D region must have positive area");
+
+  std::vector<double> breaks(pieces + 1);
+  std::vector<double> values(pieces);
+  const double w = (far - near) / pieces;
+  for (int i = 0; i <= pieces; ++i) breaks[i] = near + i * w;
+  breaks.back() = far;
+  double prev = 0.0;  // cdf at near is 0
+  for (int i = 0; i < pieces; ++i) {
+    double next = (i + 1 == pieces)
+                      ? 1.0
+                      : obj.AreaWithinDistance(q, breaks[i + 1]) / area;
+    next = std::clamp(next, prev, 1.0);  // enforce monotonicity numerically
+    values[i] = (next - prev) / (breaks[i + 1] - breaks[i]);
+    prev = next;
+  }
+  return DistanceDistribution(StepFunction(std::move(breaks),
+                                           std::move(values)));
+}
+
+}  // namespace pverify

@@ -1,0 +1,50 @@
+#include "uncertain/distance_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace pverify {
+
+DistanceDistribution::DistanceDistribution(StepFunction distance_pdf) {
+  PV_CHECK_MSG(!distance_pdf.empty(), "distance pdf must be non-empty");
+  double mass = distance_pdf.TotalMass();
+  PV_CHECK_MSG(std::abs(mass - 1.0) < 1e-6,
+               "distance pdf must carry total probability 1");
+  pdf_ = distance_pdf.Normalized();
+}
+
+DistanceDistribution DistanceDistribution::From1D(const Pdf& pdf, double q) {
+  const StepFunction& f = pdf.density();
+  // Candidate r-breakpoints: the folded images |t − q| of every pdf
+  // breakpoint, plus r = 0 when q lies inside the uncertainty region.
+  std::vector<double> rb;
+  rb.reserve(f.breaks().size() + 1);
+  for (double t : f.breaks()) rb.push_back(std::abs(t - q));
+  if (q > f.support_lo() && q < f.support_hi()) rb.push_back(0.0);
+  rb = SortedUnique(std::move(rb));
+
+  // On each folded piece the density is dens(q + r) + dens(q − r), constant
+  // because no pdf breakpoint maps into the piece's interior.
+  std::vector<double> values;
+  values.reserve(rb.size() - 1);
+  for (size_t i = 0; i + 1 < rb.size(); ++i) {
+    double rm = 0.5 * (rb[i] + rb[i + 1]);
+    values.push_back(f.Value(q + rm) + f.Value(q - rm));
+  }
+
+  // Trim zero-density pieces at both ends so near()/far() are the true
+  // minimum and maximum distances.
+  size_t first = 0;
+  size_t last = values.size();
+  while (first < last && values[first] <= 0.0) ++first;
+  while (last > first && values[last - 1] <= 0.0) --last;
+  PV_CHECK_MSG(first < last, "folded pdf has no mass");
+  std::vector<double> breaks(rb.begin() + first, rb.begin() + last + 1);
+  std::vector<double> vals(values.begin() + first, values.begin() + last);
+  return DistanceDistribution(
+      StepFunction(std::move(breaks), std::move(vals)));
+}
+
+}  // namespace pverify

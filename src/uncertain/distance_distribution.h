@@ -1,0 +1,61 @@
+// Distance pdf/cdf of an uncertain object with respect to a query point
+// (paper §IV-A, Definition 2, Fig. 6).
+//
+// For a 1-D object with step-function pdf, folding the density around the
+// query point q gives the distance pdf d_i(r) — again a step function —
+// whose exact integral is the piecewise-linear distance cdf D_i(r).
+#ifndef PVERIFY_UNCERTAIN_DISTANCE_DISTRIBUTION_H_
+#define PVERIFY_UNCERTAIN_DISTANCE_DISTRIBUTION_H_
+
+#include <vector>
+
+#include "common/piecewise.h"
+#include "uncertain/pdf.h"
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+
+/// The distribution of R_i = |X_i − q| for one uncertain object.
+class DistanceDistribution {
+ public:
+  DistanceDistribution() = default;
+
+  /// Wraps an already-built distance pdf (must have total mass ≈ 1; it is
+  /// renormalized to remove discretization residue).
+  explicit DistanceDistribution(StepFunction distance_pdf);
+
+  /// Folds a 1-D uncertainty pdf around query point q.
+  static DistanceDistribution From1D(const Pdf& pdf, double q);
+
+  /// Near point n_i: minimum possible distance.
+  double near() const { return pdf_.support_lo(); }
+  /// Far point f_i: maximum possible distance.
+  double far() const { return pdf_.support_hi(); }
+
+  /// Distance pdf d_i(r).
+  double Density(double r) const { return pdf_.Value(r); }
+
+  /// Distance cdf D_i(r) = P(R_i <= r); 0 below near(), 1 above far().
+  double Cdf(double r) const { return pdf_.IntegralTo(r); }
+
+  /// P(a <= R_i <= b).
+  double ProbIn(double a, double b) const {
+    return pdf_.IntegralBetween(a, b);
+  }
+
+  /// Inverse cdf (for sampling); p in [0, 1].
+  double Quantile(double p) const { return pdf_.InverseIntegral(p); }
+
+  /// Breakpoints where the distance pdf changes value. Used as subregion
+  /// end-point candidates and as integration split points.
+  const std::vector<double>& breakpoints() const { return pdf_.breaks(); }
+
+  const StepFunction& pdf() const { return pdf_; }
+
+ private:
+  StepFunction pdf_;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_UNCERTAIN_DISTANCE_DISTRIBUTION_H_

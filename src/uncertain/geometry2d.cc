@@ -1,0 +1,130 @@
+#include "uncertain/geometry2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/piecewise.h"
+
+namespace pverify {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Antiderivative of h(x) = sqrt(r² − x²): ∫ h dx = (x·h(x) + r²·asin(x/r))/2.
+double HalfDiskAntiderivative(double x, double r) {
+  x = std::clamp(x, -r, r);
+  double h = std::sqrt(std::max(0.0, r * r - x * x));
+  return 0.5 * (x * h + r * r * std::asin(std::clamp(x / r, -1.0, 1.0)));
+}
+
+// ∫_{a}^{b} sqrt(r² − x²) dx, exact.
+double IntegralOfH(double a, double b, double r) {
+  return HalfDiskAntiderivative(b, r) - HalfDiskAntiderivative(a, r);
+}
+
+}  // namespace
+
+double Circle2::Area() const { return kPi * r * r; }
+
+double Distance(Point2 a, Point2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double MinDistToRect(Point2 q, const Rect2& rect) {
+  double dx = std::max({rect.x1 - q.x, 0.0, q.x - rect.x2});
+  double dy = std::max({rect.y1 - q.y, 0.0, q.y - rect.y2});
+  return std::hypot(dx, dy);
+}
+
+double MaxDistToRect(Point2 q, const Rect2& rect) {
+  double dx = std::max(std::abs(q.x - rect.x1), std::abs(q.x - rect.x2));
+  double dy = std::max(std::abs(q.y - rect.y1), std::abs(q.y - rect.y2));
+  return std::hypot(dx, dy);
+}
+
+double MinDistToCircle(Point2 q, const Circle2& c) {
+  double d = Distance(q, {c.cx, c.cy});
+  return std::max(0.0, d - c.r);
+}
+
+double MaxDistToCircle(Point2 q, const Circle2& c) {
+  return Distance(q, {c.cx, c.cy}) + c.r;
+}
+
+double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect) {
+  PV_CHECK_MSG(r >= 0.0, "negative radius");
+  if (r == 0.0) return 0.0;
+  // Translate so the disk is centered at the origin.
+  const double x1 = rect.x1 - q.x;
+  const double x2 = rect.x2 - q.x;
+  const double y1 = rect.y1 - q.y;
+  const double y2 = rect.y2 - q.y;
+  const double a = std::max(x1, -r);
+  const double b = std::min(x2, r);
+  if (b <= a) return 0.0;
+
+  // Split [a, b] wherever the disk boundary crosses y = y1 or y = y2, then
+  // integrate the clipped vertical extent exactly on each piece.
+  std::vector<double> cuts = {a, b};
+  for (double y : {y1, y2}) {
+    if (std::abs(y) < r) {
+      double xc = std::sqrt(r * r - y * y);
+      if (xc > a && xc < b) cuts.push_back(xc);
+      if (-xc > a && -xc < b) cuts.push_back(-xc);
+    }
+  }
+  cuts = SortedUnique(std::move(cuts));
+
+  double area = 0.0;
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const double lo = cuts[i];
+    const double hi = cuts[i + 1];
+    const double xm = 0.5 * (lo + hi);
+    const double h = std::sqrt(std::max(0.0, r * r - xm * xm));
+    // Within the piece, which of {y2, h} is the upper envelope and which of
+    // {y1, −h} is the lower envelope cannot change (no crossings inside).
+    const bool top_is_rect = y2 <= h;   // upper = y2, else upper = h(x)
+    const bool bot_is_rect = y1 >= -h;  // lower = y1, else lower = −h(x)
+    const double upper_mid = top_is_rect ? y2 : h;
+    const double lower_mid = bot_is_rect ? y1 : -h;
+    if (upper_mid <= lower_mid) continue;  // empty strip
+    double piece = 0.0;
+    if (top_is_rect && bot_is_rect) {
+      piece = (y2 - y1) * (hi - lo);
+    } else if (top_is_rect && !bot_is_rect) {
+      piece = y2 * (hi - lo) + IntegralOfH(lo, hi, r);
+    } else if (!top_is_rect && bot_is_rect) {
+      piece = IntegralOfH(lo, hi, r) - y1 * (hi - lo);
+    } else {
+      piece = 2.0 * IntegralOfH(lo, hi, r);
+    }
+    area += std::max(0.0, piece);
+  }
+  return area;
+}
+
+double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c) {
+  PV_CHECK_MSG(r >= 0.0 && c.r >= 0.0, "negative radius");
+  const double d = Distance(q, {c.cx, c.cy});
+  const double r1 = r;
+  const double r2 = c.r;
+  if (r1 == 0.0 || r2 == 0.0) return 0.0;
+  if (d >= r1 + r2) return 0.0;  // disjoint
+  if (d <= std::abs(r1 - r2)) {  // one inside the other
+    double rmin = std::min(r1, r2);
+    return kPi * rmin * rmin;
+  }
+  // Lens area via two circular segments.
+  const double d1 = (d * d + r1 * r1 - r2 * r2) / (2.0 * d);
+  const double d2 = d - d1;
+  auto segment = [](double radius, double dist) {
+    double cosv = std::clamp(dist / radius, -1.0, 1.0);
+    return radius * radius * std::acos(cosv) -
+           dist * std::sqrt(std::max(0.0, radius * radius - dist * dist));
+  };
+  return segment(r1, d1) + segment(r2, d2);
+}
+
+}  // namespace pverify

@@ -1,0 +1,61 @@
+// Exact 2-D geometry primitives used to derive distance cdfs of 2-D uniform
+// uncertain objects: the cdf D(r) at query q is
+// area(region ∩ disk(q, r)) / area(region), so we need exact disk–rectangle
+// and disk–disk intersection areas plus min/max point-to-region distances.
+#ifndef PVERIFY_UNCERTAIN_GEOMETRY2D_H_
+#define PVERIFY_UNCERTAIN_GEOMETRY2D_H_
+
+namespace pverify {
+
+/// A 2-D point.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Axis-aligned rectangle [x1,x2] × [y1,y2].
+struct Rect2 {
+  double x1 = 0.0;
+  double y1 = 0.0;
+  double x2 = 0.0;
+  double y2 = 0.0;
+
+  double Area() const { return (x2 - x1) * (y2 - y1); }
+  bool Contains(Point2 p) const {
+    return p.x >= x1 && p.x <= x2 && p.y >= y1 && p.y <= y2;
+  }
+};
+
+/// Disk of radius r centered at (cx, cy).
+struct Circle2 {
+  double cx = 0.0;
+  double cy = 0.0;
+  double r = 0.0;
+
+  double Area() const;
+};
+
+/// Euclidean distance between two points.
+double Distance(Point2 a, Point2 b);
+
+/// Minimum distance from point q to the rectangle (0 if inside).
+double MinDistToRect(Point2 q, const Rect2& rect);
+
+/// Maximum distance from point q to the rectangle (attained at a corner).
+double MaxDistToRect(Point2 q, const Rect2& rect);
+
+/// Minimum distance from point q to the disk (0 if inside).
+double MinDistToCircle(Point2 q, const Circle2& c);
+
+/// Maximum distance from point q to the disk.
+double MaxDistToCircle(Point2 q, const Circle2& c);
+
+/// Exact area of disk(q, r) ∩ rect. Exact closed form (no sampling).
+double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect);
+
+/// Exact area of disk(q, r) ∩ disk(c). Standard lens formula.
+double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_UNCERTAIN_GEOMETRY2D_H_

@@ -1,0 +1,142 @@
+#include "uncertain/pdf.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pverify {
+
+Pdf::Pdf(StepFunction density, std::string name)
+    : density_(std::move(density)), name_(std::move(name)) {
+  PV_CHECK_MSG(!density_.empty(), "pdf needs at least one bar");
+  density_ = density_.Normalized();
+}
+
+double Pdf::Mean() const {
+  const auto& b = density_.breaks();
+  const auto& v = density_.values();
+  double m = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    // ∫ x·v dx over the bar = v · (b1² − b0²)/2.
+    m += v[i] * 0.5 * (b[i + 1] * b[i + 1] - b[i] * b[i]);
+  }
+  return m;
+}
+
+double Pdf::Variance() const {
+  const auto& b = density_.breaks();
+  const auto& v = density_.values();
+  double m = Mean();
+  double ex2 = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    // ∫ x²·v dx over the bar = v · (b1³ − b0³)/3.
+    ex2 += v[i] * (b[i + 1] * b[i + 1] * b[i + 1] - b[i] * b[i] * b[i]) / 3.0;
+  }
+  return ex2 - m * m;
+}
+
+double StandardNormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+Pdf MakeUniformPdf(double lo, double hi) {
+  PV_CHECK_MSG(hi > lo, "uniform pdf needs a non-degenerate interval");
+  return Pdf(StepFunction::Constant(lo, hi, 1.0 / (hi - lo)), "uniform");
+}
+
+Pdf MakeGaussianPdf(double lo, double hi, int bars) {
+  double mean = 0.5 * (lo + hi);
+  double stddev = (hi - lo) / 6.0;
+  return MakeGaussianPdf(lo, hi, mean, stddev, bars);
+}
+
+Pdf MakeGaussianPdf(double lo, double hi, double mean, double stddev,
+                    int bars) {
+  PV_CHECK_MSG(hi > lo, "gaussian pdf needs a non-degenerate interval");
+  PV_CHECK_MSG(stddev > 0.0, "gaussian pdf needs positive stddev");
+  PV_CHECK_MSG(bars >= 1, "gaussian pdf needs at least one bar");
+  std::vector<double> breaks(bars + 1);
+  std::vector<double> values(bars);
+  const double w = (hi - lo) / bars;
+  for (int i = 0; i <= bars; ++i) breaks[i] = lo + i * w;
+  breaks.back() = hi;  // avoid accumulation error at the right edge
+  double prev = StandardNormalCdf((lo - mean) / stddev);
+  for (int i = 0; i < bars; ++i) {
+    double next = StandardNormalCdf((breaks[i + 1] - mean) / stddev);
+    values[i] = std::max(0.0, next - prev) / w;  // mass → density
+    prev = next;
+  }
+  return Pdf(StepFunction(std::move(breaks), std::move(values)), "gaussian");
+}
+
+Pdf MakeHistogramPdf(std::vector<double> breaks, std::vector<double> weights) {
+  return Pdf(StepFunction(std::move(breaks), std::move(weights)), "histogram");
+}
+
+Pdf MakeHistogramPdf(double lo, double hi,
+                     const std::vector<double>& weights) {
+  PV_CHECK_MSG(hi > lo, "histogram pdf needs a non-degenerate interval");
+  PV_CHECK_MSG(!weights.empty(), "histogram pdf needs at least one bar");
+  const size_t n = weights.size();
+  std::vector<double> breaks(n + 1);
+  const double w = (hi - lo) / static_cast<double>(n);
+  for (size_t i = 0; i <= n; ++i) breaks[i] = lo + static_cast<double>(i) * w;
+  breaks.back() = hi;
+  return MakeHistogramPdf(std::move(breaks), weights);
+}
+
+Pdf MakeTriangularPdf(double lo, double hi, int bars) {
+  PV_CHECK_MSG(hi > lo && bars >= 1, "bad triangular pdf parameters");
+  const double mid = 0.5 * (lo + hi);
+  const double half = 0.5 * (hi - lo);
+  std::vector<double> breaks(bars + 1);
+  std::vector<double> values(bars);
+  const double w = (hi - lo) / bars;
+  for (int i = 0; i <= bars; ++i) breaks[i] = lo + i * w;
+  breaks.back() = hi;
+  for (int i = 0; i < bars; ++i) {
+    double x = 0.5 * (breaks[i] + breaks[i + 1]);
+    values[i] = std::max(0.0, 1.0 - std::abs(x - mid) / half);
+  }
+  return Pdf(StepFunction(std::move(breaks), std::move(values)), "triangular");
+}
+
+Pdf MakeExponentialPdf(double lo, double hi, double lambda, int bars) {
+  PV_CHECK_MSG(hi > lo && bars >= 1 && lambda > 0.0,
+               "bad exponential pdf parameters");
+  std::vector<double> breaks(bars + 1);
+  std::vector<double> values(bars);
+  const double w = (hi - lo) / bars;
+  for (int i = 0; i <= bars; ++i) breaks[i] = lo + i * w;
+  breaks.back() = hi;
+  double prev = 0.0;  // cdf of Exp(lambda) at offset 0
+  for (int i = 0; i < bars; ++i) {
+    double next = 1.0 - std::exp(-lambda * (breaks[i + 1] - lo));
+    values[i] = std::max(0.0, next - prev) / w;
+    prev = next;
+  }
+  return Pdf(StepFunction(std::move(breaks), std::move(values)),
+             "exponential");
+}
+
+Pdf MakePdfFromSamples(const std::vector<double>& samples, int bars) {
+  PV_CHECK_MSG(samples.size() >= 2, "need at least two samples");
+  PV_CHECK_MSG(bars >= 1, "need at least one bar");
+  double lo = samples[0], hi = samples[0];
+  for (double s : samples) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  PV_CHECK_MSG(hi > lo, "samples must not all be identical");
+  std::vector<double> weights(bars, 0.0);
+  const double w = (hi - lo) / bars;
+  for (double s : samples) {
+    int bin = static_cast<int>((s - lo) / w);
+    if (bin >= bars) bin = bars - 1;  // hi lands in the last bin
+    weights[static_cast<size_t>(bin)] += 1.0;
+  }
+  return MakeHistogramPdf(lo, hi, weights);
+}
+
+}  // namespace pverify

@@ -1,0 +1,98 @@
+// Uncertainty pdfs for 1-D uncertain objects.
+//
+// Following the paper (§I, Fig. 1), an uncertain value lives in a closed
+// interval with an arbitrary pdf whose integral over the interval is 1. We
+// represent every pdf as a normalized step function (histogram) — exactly
+// the representation the paper uses ("We represent a distance pdf of each
+// object as a histogram"; Gaussians are "approximated by a 300-bar
+// histogram"). Factory functions build the standard shapes; the histogram
+// factory accepts fully arbitrary user-supplied bars.
+#ifndef PVERIFY_UNCERTAIN_PDF_H_
+#define PVERIFY_UNCERTAIN_PDF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/piecewise.h"
+
+namespace pverify {
+
+/// A normalized probability density over a closed interval, stored as a step
+/// function. Immutable after construction.
+class Pdf {
+ public:
+  /// Wraps a step function; normalizes it to total mass 1.
+  /// Requires positive total mass.
+  explicit Pdf(StepFunction density, std::string name = "histogram");
+
+  double lo() const { return density_.support_lo(); }
+  double hi() const { return density_.support_hi(); }
+  double width() const { return hi() - lo(); }
+
+  /// Density at x (0 outside [lo, hi]).
+  double Density(double x) const { return density_.Value(x); }
+
+  /// Cumulative probability P(X <= x).
+  double Cdf(double x) const { return density_.IntegralTo(x); }
+
+  /// P(a <= X <= b).
+  double ProbIn(double a, double b) const {
+    return density_.IntegralBetween(a, b);
+  }
+
+  /// Mean of the distribution (exact for the step representation).
+  double Mean() const;
+
+  /// Variance of the distribution (exact for the step representation).
+  double Variance() const;
+
+  /// Inverse cdf; p in [0, 1].
+  double Quantile(double p) const { return density_.InverseIntegral(p); }
+
+  const StepFunction& density() const { return density_; }
+  const std::string& name() const { return name_; }
+  size_t num_bars() const { return density_.num_pieces(); }
+
+ private:
+  StepFunction density_;
+  std::string name_;
+};
+
+/// Uniform pdf on [lo, hi]; exact (single bar).
+Pdf MakeUniformPdf(double lo, double hi);
+
+/// Truncated Gaussian on [lo, hi] discretized into `bars` equal-width bars.
+/// Defaults follow the paper's §V-B.5 setup: mean at the interval center,
+/// stddev = width/6, 300 bars. Bar masses use the exact Gaussian cdf and are
+/// renormalized to the truncation window.
+Pdf MakeGaussianPdf(double lo, double hi, int bars = 300);
+
+/// Gaussian with explicit mean/stddev truncated to [lo, hi].
+Pdf MakeGaussianPdf(double lo, double hi, double mean, double stddev,
+                    int bars);
+
+/// Histogram pdf from explicit breakpoints and (relative) bar weights; the
+/// weights are normalized. This is the "arbitrary pdf" entry point.
+Pdf MakeHistogramPdf(std::vector<double> breaks, std::vector<double> weights);
+
+/// Histogram with `bars` equal-width bars on [lo, hi] and the given relative
+/// weights (one per bar).
+Pdf MakeHistogramPdf(double lo, double hi, const std::vector<double>& weights);
+
+/// Symmetric triangular pdf on [lo, hi] discretized into `bars` bars.
+Pdf MakeTriangularPdf(double lo, double hi, int bars = 64);
+
+/// Truncated exponential (rate lambda, measured from lo) on [lo, hi].
+Pdf MakeExponentialPdf(double lo, double hi, double lambda, int bars = 64);
+
+/// Histogram pdf estimated from raw observations (e.g. a week of sensor
+/// readings, paper Fig. 1(b)): `bars` equal-width bins spanning the sample
+/// range, bin counts as weights. Requires at least two distinct samples.
+Pdf MakePdfFromSamples(const std::vector<double>& samples, int bars = 32);
+
+/// Exact standard-normal cdf (shared helper; exposed for tests).
+double StandardNormalCdf(double z);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_UNCERTAIN_PDF_H_

@@ -1,0 +1,128 @@
+#include "core/basic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+CandidateSet FromIntervals(const std::vector<std::pair<double, double>>& ivs,
+                           double q) {
+  Dataset data;
+  std::vector<uint32_t> idx;
+  for (size_t i = 0; i < ivs.size(); ++i) {
+    data.emplace_back(static_cast<ObjectId>(i),
+                      MakeUniformPdf(ivs[i].first, ivs[i].second));
+    idx.push_back(static_cast<uint32_t>(i));
+  }
+  return CandidateSet::Build1D(data, idx, q);
+}
+
+TEST(BasicTest, TwoIdenticalObjectsSplitEvenly) {
+  CandidateSet cands = FromIntervals({{1.0, 3.0}, {1.0, 3.0}}, 0.0);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0], 0.5, 1e-9);
+  EXPECT_NEAR(p[1], 0.5, 1e-9);
+}
+
+TEST(BasicTest, ThreeIdenticalObjectsSplitEvenly) {
+  CandidateSet cands =
+      FromIntervals({{1.0, 3.0}, {1.0, 3.0}, {1.0, 3.0}}, 0.5);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  for (double v : p) EXPECT_NEAR(v, 1.0 / 3.0, 1e-9);
+}
+
+TEST(BasicTest, DisjointDistancesAreCertain) {
+  // Object 0's distances lie wholly below object 1's.
+  CandidateSet cands = FromIntervals({{1.0, 2.0}, {5.0, 9.0}}, 0.0);
+  ASSERT_EQ(cands.size(), 1u);  // far object pruned by the near-point rule
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(BasicTest, HalfOverlapAnalytic) {
+  // R_0 uniform on [0,2], R_1 uniform on [1,3] (q at 0).
+  // p_1 = P(R_1 < R_0) = ∫_1^2 (1/2)·(2−r)/2 dr = 1/8.
+  CandidateSet cands = FromIntervals({{0.0, 2.0}, {1.0, 3.0}}, 0.0);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+  EXPECT_NEAR(p[1], 1.0 / 8.0, 1e-9);
+  EXPECT_NEAR(p[0], 7.0 / 8.0, 1e-9);
+}
+
+TEST(BasicTest, QueryInsideObjectDominates) {
+  // Object 0 contains q: its distance starts at 0; object 1 starts at 2.
+  CandidateSet cands = FromIntervals({{-1.0, 1.0}, {2.5, 3.5}}, 0.5);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  // R_0 ∈ [0, 1.5], R_1 ∈ [2, 3]: R_0 < f_min a.s. → p_0 = 1.
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+  EXPECT_NEAR(p[1], 0.0, 1e-9);
+}
+
+TEST(BasicTest, ProbabilitiesSumToOne) {
+  Rng rng(5);
+  for (int t = 0; t < 10; ++t) {
+    std::vector<std::pair<double, double>> ivs;
+    int n = 2 + static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < n; ++i) {
+      double lo = rng.Uniform(0.0, 20.0);
+      ivs.emplace_back(lo, lo + rng.Uniform(0.5, 10.0));
+    }
+    CandidateSet cands = FromIntervals(ivs, rng.Uniform(0.0, 25.0));
+    if (cands.empty()) continue;
+    std::vector<double> p = ComputeExactProbabilities(cands, {});
+    double sum = 0.0;
+    for (double v : p) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-6) << "t=" << t;
+  }
+}
+
+TEST(BasicTest, GaussianPdfProbabilitiesSumToOne) {
+  Dataset data;
+  data.emplace_back(0, MakeGaussianPdf(0.0, 6.0, 100));
+  data.emplace_back(1, MakeGaussianPdf(1.0, 7.0, 100));
+  data.emplace_back(2, MakeGaussianPdf(2.0, 9.0, 100));
+  CandidateSet cands = CandidateSet::Build1D(data, {0, 1, 2}, 3.0);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(BasicTest, SingleCandidateIsCertain) {
+  CandidateSet cands = FromIntervals({{3.0, 4.0}}, 0.0);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+}
+
+TEST(BasicTest, PerCandidateAccessorMatchesBatch) {
+  CandidateSet cands =
+      FromIntervals({{0.0, 4.0}, {1.0, 5.0}, {2.0, 6.0}}, 1.0);
+  std::vector<double> batch = ComputeExactProbabilities(cands, {});
+  for (size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_NEAR(ExactQualificationProbability(cands, i, {}), batch[i],
+                1e-12);
+  }
+}
+
+TEST(BasicTest, MixedPdfKindsSumToOne) {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(0.0, 5.0));
+  data.emplace_back(1, MakeGaussianPdf(0.5, 6.0, 80));
+  data.emplace_back(2, MakeTriangularPdf(1.0, 4.0, 32));
+  data.emplace_back(3, MakeExponentialPdf(0.2, 7.0, 0.8, 40));
+  CandidateSet cands = CandidateSet::Build1D(data, {0, 1, 2, 3}, 2.0);
+  std::vector<double> p = ComputeExactProbabilities(cands, {});
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace pverify

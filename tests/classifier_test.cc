@@ -1,0 +1,99 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+namespace pverify {
+namespace {
+
+// The four scenarios of the paper's Fig. 4 (P = 0.8, Δ = 0.15).
+TEST(ClassifierTest, PaperFig4Scenarios) {
+  CpnnParams params{0.8, 0.15};
+  // (a) [0.80, 0.96]: lower >= P → satisfy.
+  EXPECT_EQ(Classify({0.80, 0.96}, params), Label::kSatisfy);
+  // (b) [0.75, 0.85]: upper >= P and width 0.10 <= Δ → satisfy.
+  EXPECT_EQ(Classify({0.75, 0.85}, params), Label::kSatisfy);
+  // (c) [0.65, 0.78]: upper < P → fail.
+  EXPECT_EQ(Classify({0.65, 0.78}, params), Label::kFail);
+  // (d) [0.10, 0.85]: upper >= P but wide → unknown.
+  EXPECT_EQ(Classify({0.10, 0.85}, params), Label::kUnknown);
+  // (d) continued: once the lower bound is raised to 0.81 it satisfies.
+  EXPECT_EQ(Classify({0.81, 0.85}, params), Label::kSatisfy);
+}
+
+TEST(ClassifierTest, BoundaryValues) {
+  CpnnParams params{0.5, 0.0};
+  EXPECT_EQ(Classify({0.5, 0.5}, params), Label::kSatisfy);  // p == P
+  EXPECT_EQ(Classify({0.499, 0.499}, params), Label::kFail);
+  EXPECT_EQ(Classify({0.4, 0.5}, params), Label::kUnknown);
+  EXPECT_EQ(Classify({0.0, 1.0}, params), Label::kUnknown);
+}
+
+TEST(ClassifierTest, ZeroWidthBoundAlwaysDecided) {
+  CpnnParams params{0.3, 0.0};
+  for (double p : {0.0, 0.1, 0.29999, 0.3, 0.5, 1.0}) {
+    Label l = Classify({p, p}, params);
+    EXPECT_NE(l, Label::kUnknown) << "p=" << p;
+    EXPECT_EQ(l, p >= 0.3 ? Label::kSatisfy : Label::kFail);
+  }
+}
+
+TEST(ClassifierTest, ToleranceAdmitsBorderlineObjects) {
+  // Paper intro example: P=0.30, Δ=0.02 admits D with p=0.29 when its bound
+  // is [0.29, 0.31]-ish.
+  CpnnParams params{0.30, 0.02};
+  EXPECT_EQ(Classify({0.29, 0.305}, params), Label::kSatisfy);
+  EXPECT_EQ(Classify({0.29, 0.298}, params), Label::kFail);  // u < P
+}
+
+TEST(ClassifierTest, ThresholdOneOnlyCertainAnswers) {
+  CpnnParams params{1.0, 0.0};
+  EXPECT_EQ(Classify({1.0, 1.0}, params), Label::kSatisfy);
+  EXPECT_EQ(Classify({0.99, 0.999}, params), Label::kFail);
+  EXPECT_EQ(Classify({0.99, 1.0}, params), Label::kUnknown);
+}
+
+TEST(ClassifyAllTest, OnlyRelabelsUnknown) {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(0.0, 1.0));
+  data.emplace_back(1, MakeUniformPdf(0.5, 1.5));
+  CandidateSet cands = CandidateSet::Build1D(data, {0, 1}, 0.0);
+  CpnnParams params{0.3, 0.01};
+  cands[0].bound = {0.6, 0.7};
+  cands[0].label = Label::kFail;  // pre-labeled; must not flip
+  cands[1].bound = {0.0, 0.2};
+  size_t unknown = ClassifyAll(cands, params);
+  EXPECT_EQ(unknown, 0u);
+  EXPECT_EQ(cands[0].label, Label::kFail);
+  EXPECT_EQ(cands[1].label, Label::kFail);
+}
+
+TEST(ProbabilityBoundTest, TightenOnly) {
+  ProbabilityBound b;
+  b.Tighten(0.2, 0.9);
+  EXPECT_DOUBLE_EQ(b.lower, 0.2);
+  EXPECT_DOUBLE_EQ(b.upper, 0.9);
+  b.Tighten(0.1, 0.95);  // looser — no effect
+  EXPECT_DOUBLE_EQ(b.lower, 0.2);
+  EXPECT_DOUBLE_EQ(b.upper, 0.9);
+  b.Tighten(0.5, 0.6);
+  EXPECT_DOUBLE_EQ(b.lower, 0.5);
+  EXPECT_DOUBLE_EQ(b.upper, 0.6);
+}
+
+TEST(ProbabilityBoundTest, CrossingSnapsToPoint) {
+  ProbabilityBound b{0.5, 0.6};
+  b.Tighten(0.65, 0.7);  // inconsistent inputs (numerical noise scenario)
+  EXPECT_DOUBLE_EQ(b.lower, b.upper);
+}
+
+TEST(CpnnParamsTest, Validation) {
+  EXPECT_NO_THROW((CpnnParams{0.5, 0.0}).Validate());
+  EXPECT_NO_THROW((CpnnParams{1.0, 1.0}).Validate());
+  EXPECT_THROW((CpnnParams{0.0, 0.0}).Validate(), std::logic_error);
+  EXPECT_THROW((CpnnParams{1.1, 0.0}).Validate(), std::logic_error);
+  EXPECT_THROW((CpnnParams{0.5, -0.1}).Validate(), std::logic_error);
+  EXPECT_THROW((CpnnParams{0.5, 1.5}).Validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

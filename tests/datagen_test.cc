@@ -1,0 +1,132 @@
+#include "datagen/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/workload.h"
+
+namespace pverify {
+namespace {
+
+TEST(SyntheticTest, RespectsCountAndDomain) {
+  datagen::SyntheticConfig config;
+  config.count = 1234;
+  config.domain_lo = 10.0;
+  config.domain_hi = 500.0;
+  Dataset data = datagen::MakeSynthetic(config);
+  ASSERT_EQ(data.size(), 1234u);
+  for (const UncertainObject& obj : data) {
+    EXPECT_GE(obj.lo(), 10.0);
+    EXPECT_LE(obj.hi(), 500.0);
+    EXPECT_LT(obj.lo(), obj.hi());
+  }
+}
+
+TEST(SyntheticTest, IdsAreSequential) {
+  Dataset data = datagen::MakeUniformScatter(100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i].id(), static_cast<ObjectId>(i));
+  }
+}
+
+TEST(SyntheticTest, DeterministicPerSeed) {
+  datagen::SyntheticConfig config;
+  config.count = 50;
+  config.seed = 99;
+  Dataset a = datagen::MakeSynthetic(config);
+  Dataset b = datagen::MakeSynthetic(config);
+  config.seed = 100;
+  Dataset c = datagen::MakeSynthetic(config);
+  ASSERT_EQ(a.size(), b.size());
+  bool all_equal = true;
+  bool differs_from_c = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].lo() != b[i].lo() || a[i].hi() != b[i].hi()) all_equal = false;
+    if (a[i].lo() != c[i].lo()) differs_from_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(SyntheticTest, PdfKindsApplied) {
+  datagen::SyntheticConfig config;
+  config.count = 10;
+  config.pdf = datagen::PdfKind::kGaussian;
+  config.gaussian_bars = 300;
+  Dataset data = datagen::MakeSynthetic(config);
+  for (const UncertainObject& obj : data) {
+    EXPECT_EQ(obj.pdf().name(), "gaussian");
+    EXPECT_EQ(obj.pdf().num_bars(), 300u);
+  }
+  config.pdf = datagen::PdfKind::kUniform;
+  data = datagen::MakeSynthetic(config);
+  for (const UncertainObject& obj : data) {
+    EXPECT_EQ(obj.pdf().name(), "uniform");
+  }
+  config.pdf = datagen::PdfKind::kMixed;
+  data = datagen::MakeSynthetic(config);
+  EXPECT_EQ(data[0].pdf().name(), "uniform");
+  EXPECT_EQ(data[1].pdf().name(), "gaussian");
+  EXPECT_EQ(data[2].pdf().name(), "triangular");
+}
+
+TEST(SyntheticTest, LongBeachLikeDefaults) {
+  Dataset data = datagen::MakeLongBeachLike();
+  EXPECT_EQ(data.size(), 53144u);  // paper §V-A cardinality
+  double max_hi = 0.0;
+  for (const UncertainObject& obj : data) max_hi = std::max(max_hi, obj.hi());
+  EXPECT_LE(max_hi, 10000.0);
+}
+
+TEST(SyntheticTest, AverageCandidateSetNearPaper) {
+  // The paper reports ~96 candidates on average after filtering. Our
+  // synthetic stand-in should be in the same regime (tens to ~200).
+  Dataset data = datagen::MakeLongBeachLike();
+  CpnnExecutor exec(data);
+  auto queries = datagen::MakeQueryPoints(30, 0.0, 10000.0, 55);
+  double total = 0.0;
+  for (double q : queries) total += exec.Filter(q).candidates.size();
+  double avg = total / queries.size();
+  EXPECT_GE(avg, 20.0);
+  EXPECT_LE(avg, 300.0);
+}
+
+TEST(Synthetic2DTest, RegionsInsideDomain) {
+  datagen::Synthetic2DConfig config;
+  config.count = 300;
+  Dataset2D data = datagen::MakeSynthetic2D(config);
+  ASSERT_EQ(data.size(), 300u);
+  size_t circles = 0;
+  for (const UncertainObject2D& obj : data) {
+    EXPECT_GT(obj.Area(), 0.0);
+    if (!obj.is_rect()) ++circles;
+  }
+  EXPECT_GT(circles, 50u);
+  EXPECT_LT(circles, 250u);
+}
+
+TEST(WorkloadTest, QueryPointsInRange) {
+  auto pts = datagen::MakeQueryPoints(500, 3.0, 7.0, 1);
+  ASSERT_EQ(pts.size(), 500u);
+  for (double p : pts) {
+    EXPECT_GE(p, 3.0);
+    EXPECT_LT(p, 7.0);
+  }
+}
+
+TEST(WorkloadTest, RunWorkloadAggregates) {
+  Dataset data = datagen::MakeUniformScatter(500, 100.0, 1.0, 2);
+  CpnnExecutor exec(data);
+  auto queries = datagen::MakeQueryPoints(10, 0.0, 100.0, 3);
+  QueryOptions opt;
+  opt.params = {0.3, 0.01};
+  opt.strategy = Strategy::kVR;
+  datagen::WorkloadResult result = datagen::RunWorkload(exec, queries, opt);
+  EXPECT_EQ(result.queries, 10u);
+  EXPECT_GT(result.AvgCandidates(), 0.0);
+  EXPECT_GE(result.AvgTotalMs(), 0.0);
+  EXPECT_GE(result.FractionFinishedAfterVerify(), 0.0);
+  EXPECT_LE(result.FractionFinishedAfterVerify(), 1.0);
+}
+
+}  // namespace
+}  // namespace pverify

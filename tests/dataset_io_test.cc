@@ -1,0 +1,112 @@
+#include "datagen/dataset_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace pverify {
+namespace {
+
+TEST(DatasetIoTest, ParsesUniformIntervals) {
+  std::istringstream in(
+      "# a comment\n"
+      "0.5 2.5\n"
+      "\n"
+      "10 20  # trailing comment\n");
+  Dataset data = datagen::ReadDataset(in);
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].id(), 0);
+  EXPECT_DOUBLE_EQ(data[0].lo(), 0.5);
+  EXPECT_DOUBLE_EQ(data[0].hi(), 2.5);
+  EXPECT_EQ(data[0].pdf().name(), "uniform");
+  EXPECT_EQ(data[1].id(), 1);
+  EXPECT_DOUBLE_EQ(data[1].hi(), 20.0);
+}
+
+TEST(DatasetIoTest, ParsesGaussianRecords) {
+  std::istringstream in(
+      "g 0 6\n"
+      "g 1 5 50\n");
+  Dataset data = datagen::ReadDataset(in);
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data[0].pdf().name(), "gaussian");
+  EXPECT_EQ(data[0].pdf().num_bars(), 300u);  // paper default
+  EXPECT_EQ(data[1].pdf().num_bars(), 50u);
+}
+
+TEST(DatasetIoTest, ParsesHistogramRecords) {
+  std::istringstream in("h 0 3 1 2 1\n");
+  Dataset data = datagen::ReadDataset(in);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data[0].pdf().num_bars(), 3u);
+  EXPECT_NEAR(data[0].pdf().ProbIn(1.0, 2.0), 0.5, 1e-12);
+}
+
+TEST(DatasetIoTest, RejectsMalformedLines) {
+  auto expect_error = [](const std::string& text, const char* what) {
+    std::istringstream in(text);
+    try {
+      datagen::ReadDataset(in);
+      FAIL() << "expected parse error for: " << text;
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line"), std::string::npos)
+          << what;
+    }
+  };
+  expect_error("5 2\n", "reversed interval");
+  expect_error("abc def\n", "non-numeric");
+  expect_error("g 1\n", "incomplete gaussian");
+  expect_error("g 3 1\n", "reversed gaussian");
+  expect_error("h 0 1\n", "histogram without weights");
+  expect_error("h 0 1 -2\n", "negative weight");
+  expect_error("h 0 1 0 0\n", "zero-mass histogram");
+}
+
+TEST(DatasetIoTest, RoundTripUniform) {
+  Dataset original = datagen::MakeUniformScatter(50, 100.0, 5.0, 3);
+  std::ostringstream out;
+  datagen::WriteDataset(original, out);
+  std::istringstream in(out.str());
+  Dataset loaded = datagen::ReadDataset(in);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded[i].lo(), original[i].lo());
+    EXPECT_DOUBLE_EQ(loaded[i].hi(), original[i].hi());
+  }
+}
+
+TEST(DatasetIoTest, RoundTripHistogramPreservesProbabilities) {
+  Dataset original;
+  original.emplace_back(0, MakeHistogramPdf(2.0, 8.0, {1.0, 3.0, 2.0}));
+  original.emplace_back(1, MakeGaussianPdf(0.0, 10.0, 40));
+  std::ostringstream out;
+  datagen::WriteDataset(original, out);
+  std::istringstream in(out.str());
+  Dataset loaded = datagen::ReadDataset(in);
+  ASSERT_EQ(loaded.size(), 2u);
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    for (double x = 0.0; x <= 10.0; x += 0.5) {
+      EXPECT_NEAR(loaded[i].pdf().Cdf(x), original[i].pdf().Cdf(x), 1e-9)
+          << "i=" << i << " x=" << x;
+    }
+  }
+}
+
+TEST(DatasetIoTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/pverify_dataset_test.txt";
+  Dataset original = datagen::MakeUniformScatter(20, 50.0, 2.0, 5);
+  datagen::SaveDataset(original, path);
+  Dataset loaded = datagen::LoadDataset(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_DOUBLE_EQ(loaded[7].lo(), original[7].lo());
+}
+
+TEST(DatasetIoTest, MissingFileThrows) {
+  EXPECT_THROW(datagen::LoadDataset("/nonexistent/nowhere.txt"),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

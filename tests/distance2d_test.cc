@@ -1,0 +1,88 @@
+#include "uncertain/distance2d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pverify {
+namespace {
+
+double kDiskArea(double r) { return 3.14159265358979323846 * r * r; }
+
+TEST(Distance2DTest, QueryAtCircleCenterHasQuadraticCdf) {
+  // Uniform disk radius R, query at center: D(r) = r²/R².
+  UncertainObject2D obj(1, Circle2{0.0, 0.0, 4.0});
+  DistanceDistribution d =
+      MakeDistanceDistribution2D(obj, {0.0, 0.0}, /*pieces=*/256);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_DOUBLE_EQ(d.far(), 4.0);
+  for (double r : {0.5, 1.0, 2.0, 3.0, 3.9}) {
+    EXPECT_NEAR(d.Cdf(r), r * r / 16.0, 5e-3) << "r=" << r;
+  }
+}
+
+TEST(Distance2DTest, RectangleNearFar) {
+  UncertainObject2D obj(2, Rect2{1.0, 1.0, 3.0, 2.0});
+  Point2 q{0.0, 0.0};
+  DistanceDistribution d = MakeDistanceDistribution2D(obj, q);
+  EXPECT_NEAR(d.near(), std::hypot(1.0, 1.0), 1e-12);
+  EXPECT_NEAR(d.far(), std::hypot(3.0, 2.0), 1e-12);
+  EXPECT_NEAR(d.ProbIn(d.near(), d.far()), 1.0, 1e-9);
+}
+
+TEST(Distance2DTest, QueryInsideRectangle) {
+  UncertainObject2D obj(3, Rect2{0.0, 0.0, 4.0, 4.0});
+  Point2 q{1.0, 1.0};
+  DistanceDistribution d = MakeDistanceDistribution2D(obj, q, 128);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_NEAR(d.far(), std::hypot(3.0, 3.0), 1e-12);
+  // Small r: the disk fits fully inside → D(r) = πr²/area.
+  EXPECT_NEAR(d.Cdf(0.5), kDiskArea(0.5) / 16.0, 5e-3);
+  EXPECT_NEAR(d.Cdf(1.0), kDiskArea(1.0) / 16.0, 2e-2);
+}
+
+TEST(Distance2DTest, CdfMatchesExactAreaRatio) {
+  UncertainObject2D obj(4, Rect2{2.0, -1.0, 6.0, 3.0});
+  Point2 q{0.0, 0.0};
+  DistanceDistribution d = MakeDistanceDistribution2D(obj, q, 512);
+  for (double r : {2.5, 3.0, 4.0, 5.0, 6.0}) {
+    double exact = obj.AreaWithinDistance(q, r) / obj.Area();
+    EXPECT_NEAR(d.Cdf(r), exact, 5e-3) << "r=" << r;
+  }
+}
+
+TEST(Distance2DTest, MonotoneCdfForRandomObjects) {
+  Rng rng(9);
+  for (int t = 0; t < 10; ++t) {
+    UncertainObject2D obj =
+        (t % 2 == 0)
+            ? UncertainObject2D(t, Circle2{rng.Uniform(-5, 5),
+                                           rng.Uniform(-5, 5),
+                                           rng.Uniform(0.5, 3.0)})
+            : UncertainObject2D(
+                  t, Rect2{rng.Uniform(-5, 0), rng.Uniform(-5, 0),
+                           rng.Uniform(0.5, 5), rng.Uniform(0.5, 5)});
+    Point2 q{rng.Uniform(-6, 6), rng.Uniform(-6, 6)};
+    DistanceDistribution d = MakeDistanceDistribution2D(obj, q, 64);
+    double prev = -1.0;
+    for (int i = 0; i <= 30; ++i) {
+      double r = d.near() + (d.far() - d.near()) * i / 30.0;
+      double c = d.Cdf(r);
+      EXPECT_GE(c, prev - 1e-12);
+      EXPECT_LE(c, 1.0 + 1e-12);
+      prev = c;
+    }
+    EXPECT_NEAR(d.Cdf(d.far()), 1.0, 1e-9);
+  }
+}
+
+TEST(Distance2DTest, DegenerateRegionRejected) {
+  UncertainObject2D obj(5, Rect2{1.0, 1.0, 1.0, 2.0});  // zero width
+  EXPECT_THROW(MakeDistanceDistribution2D(obj, {0.0, 0.0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

@@ -1,0 +1,172 @@
+#include "uncertain/distance_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+// Paper Fig. 6(b): query inside the uncertainty region. For uniform [l, u]
+// and q with q−l < u−q, the distance pdf is 2/(u−l) on [0, q−l] and 1/(u−l)
+// on [q−l, u−q].
+TEST(DistanceDistributionTest, UniformQueryInsideFig6b) {
+  Pdf pdf = MakeUniformPdf(0.0, 10.0);
+  double q = 3.0;
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_DOUBLE_EQ(d.far(), 7.0);
+  EXPECT_NEAR(d.Density(1.0), 2.0 / 10.0, 1e-12);
+  EXPECT_NEAR(d.Density(5.0), 1.0 / 10.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(3.0), 6.0 / 10.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(7.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.ProbIn(0.0, 7.0), 1.0, 1e-12);
+}
+
+// Paper Fig. 6(c): query outside the region — the distance pdf is a shifted
+// copy of the value pdf.
+TEST(DistanceDistributionTest, UniformQueryOutside) {
+  Pdf pdf = MakeUniformPdf(4.0, 9.0);
+  double q = 1.0;
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+  EXPECT_DOUBLE_EQ(d.near(), 3.0);
+  EXPECT_DOUBLE_EQ(d.far(), 8.0);
+  EXPECT_NEAR(d.Density(5.0), 1.0 / 5.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(5.5), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(d.Cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.Cdf(9.0), 1.0);
+}
+
+TEST(DistanceDistributionTest, UniformQueryRightOfRegion) {
+  Pdf pdf = MakeUniformPdf(4.0, 9.0);
+  double q = 12.0;
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+  EXPECT_DOUBLE_EQ(d.near(), 3.0);
+  EXPECT_DOUBLE_EQ(d.far(), 8.0);
+  EXPECT_NEAR(d.ProbIn(3.0, 8.0), 1.0, 1e-12);
+}
+
+TEST(DistanceDistributionTest, QueryAtRegionCenterFoldsSymmetrically) {
+  Pdf pdf = MakeUniformPdf(0.0, 10.0);
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, 5.0);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_DOUBLE_EQ(d.far(), 5.0);
+  EXPECT_NEAR(d.Density(2.0), 2.0 / 10.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(2.5), 0.5, 1e-12);
+}
+
+TEST(DistanceDistributionTest, QueryAtBoundary) {
+  Pdf pdf = MakeUniformPdf(2.0, 5.0);
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, 2.0);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_DOUBLE_EQ(d.far(), 3.0);
+  EXPECT_NEAR(d.Density(1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(DistanceDistributionTest, HistogramFoldOverlapsBars) {
+  // Two equal-mass bars: [0,1] and [1,2]; query at 1 folds both onto [0,1].
+  Pdf pdf = MakeHistogramPdf(0.0, 2.0, {1.0, 1.0});
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, 1.0);
+  EXPECT_DOUBLE_EQ(d.near(), 0.0);
+  EXPECT_DOUBLE_EQ(d.far(), 1.0);
+  EXPECT_NEAR(d.Density(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(d.Cdf(0.5), 0.5, 1e-12);
+}
+
+TEST(DistanceDistributionTest, AsymmetricHistogramFold) {
+  // Mass 0.75 in [0,1], 0.25 in [1,2]; query at 1.
+  Pdf pdf = MakeHistogramPdf(0.0, 2.0, {3.0, 1.0});
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, 1.0);
+  // Folded density on [0,1]: 0.75 + 0.25 = 1.0.
+  EXPECT_NEAR(d.Density(0.3), 1.0, 1e-12);
+  EXPECT_NEAR(d.ProbIn(0.0, 1.0), 1.0, 1e-12);
+}
+
+TEST(DistanceDistributionTest, GaussianFoldPreservesMass) {
+  Pdf pdf = MakeGaussianPdf(10.0, 70.0);  // 300 bars
+  for (double q : {0.0, 10.0, 25.0, 40.0, 55.0, 70.0, 90.0}) {
+    DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+    EXPECT_NEAR(d.ProbIn(d.near(), d.far()), 1.0, 1e-9) << "q=" << q;
+    EXPECT_GE(d.near(), 0.0);
+    EXPECT_GT(d.far(), d.near());
+  }
+}
+
+TEST(DistanceDistributionTest, CdfMatchesDirectProbability) {
+  // D(r) must equal P(|X−q| <= r) computed from the raw pdf.
+  Pdf pdf = MakeHistogramPdf(0.0, 8.0, {1.0, 2.0, 0.5, 4.0});
+  double q = 3.0;
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+  for (double r : {0.5, 1.0, 2.0, 3.0, 4.0, 5.0}) {
+    double direct = pdf.ProbIn(q - r, q + r);
+    EXPECT_NEAR(d.Cdf(r), direct, 1e-12) << "r=" << r;
+  }
+}
+
+TEST(DistanceDistributionTest, QuantileSamplingMatchesCdf) {
+  Pdf pdf = MakeGaussianPdf(0.0, 30.0, 100);
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, 12.0);
+  Rng rng(3);
+  int below = 0;
+  const int kSamples = 20000;
+  double r0 = d.Quantile(0.7);
+  for (int i = 0; i < kSamples; ++i) {
+    if (d.Quantile(rng.Uniform(0.0, 1.0)) <= r0) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kSamples, 0.7, 0.02);
+}
+
+TEST(DistanceDistributionTest, RejectsUnnormalizedInput) {
+  StepFunction not_a_pdf = StepFunction::Constant(0.0, 1.0, 2.0);  // mass 2
+  EXPECT_THROW(DistanceDistribution{not_a_pdf}, std::logic_error);
+}
+
+class FoldMassPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FoldMassPropertyTest, MassAndSupportInvariants) {
+  auto [seed, kind] = GetParam();
+  Rng rng(seed * 7919 + kind);
+  double lo = rng.Uniform(-50.0, 50.0);
+  double hi = lo + rng.Uniform(0.5, 40.0);
+  Pdf pdf = [&]() {
+    switch (kind) {
+      case 0:
+        return MakeUniformPdf(lo, hi);
+      case 1:
+        return MakeGaussianPdf(lo, hi, 60);
+      default: {
+        std::vector<double> w;
+        for (int i = 0; i < 7; ++i) w.push_back(rng.Uniform(0.01, 3.0));
+        return MakeHistogramPdf(lo, hi, w);
+      }
+    }
+  }();
+  double q = rng.Uniform(lo - 20.0, hi + 20.0);
+  DistanceDistribution d = DistanceDistribution::From1D(pdf, q);
+  // Mass preserved.
+  EXPECT_NEAR(d.ProbIn(d.near(), d.far()), 1.0, 1e-9);
+  // Support equals the min/max possible distance.
+  double expect_near = (q < lo) ? lo - q : (q > hi ? q - hi : 0.0);
+  double expect_far = std::max(std::abs(q - lo), std::abs(q - hi));
+  EXPECT_NEAR(d.near(), expect_near, 1e-9);
+  EXPECT_NEAR(d.far(), expect_far, 1e-9);
+  // Cdf is monotone in r.
+  double prev = -1.0;
+  for (int i = 0; i <= 20; ++i) {
+    double r = d.near() + (d.far() - d.near()) * i / 20.0;
+    double c = d.Cdf(r);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKinds, FoldMassPropertyTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 3)));
+
+}  // namespace
+}  // namespace pverify

@@ -1,0 +1,110 @@
+#include "spatial/filter.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+
+namespace pverify {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(0.0, 2.0));
+  data.emplace_back(1, MakeUniformPdf(1.0, 3.0));
+  data.emplace_back(2, MakeUniformPdf(10.0, 12.0));
+  data.emplace_back(3, MakeUniformPdf(4.0, 5.0));
+  return data;
+}
+
+TEST(FilterTest, FminIsSmallestFarPoint) {
+  Dataset data = SmallDataset();
+  PnnFilter filter(data);
+  FilterResult r = filter.Filter(1.5);
+  // Far points from q=1.5: obj0 max(1.5,0.5)=1.5; obj1 max(0.5,1.5)=1.5;
+  // obj2 10.5; obj3 3.5. f_min = 1.5.
+  EXPECT_NEAR(r.fmin, 1.5, 1e-12);
+  // Candidates: mindist <= 1.5 → obj0 (0), obj1 (0), obj3 (2.5 > 1.5 no),
+  // obj2 (8.5 no).
+  EXPECT_EQ(r.candidates, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(FilterTest, DistantObjectPruned) {
+  Dataset data = SmallDataset();
+  PnnFilter filter(data);
+  FilterResult r = filter.Filter(11.0);
+  // q=11: obj2 far = max(1,1) = 1 → fmin=1; only obj2 within distance 1.
+  EXPECT_NEAR(r.fmin, 1.0, 1e-12);
+  EXPECT_EQ(r.candidates, (std::vector<uint32_t>{2}));
+}
+
+TEST(FilterTest, MatchesScanOnSyntheticData) {
+  Dataset data = datagen::MakeUniformScatter(3000, 1000.0, 2.0, 5);
+  PnnFilter filter(data);
+  Rng rng(17);
+  for (int t = 0; t < 30; ++t) {
+    double q = rng.Uniform(-50.0, 1050.0);
+    FilterResult via_tree = filter.Filter(q);
+    FilterResult via_scan = FilterByScan(data, q);
+    EXPECT_NEAR(via_tree.fmin, via_scan.fmin, 1e-9) << "q=" << q;
+    EXPECT_EQ(std::set<uint32_t>(via_tree.candidates.begin(),
+                                 via_tree.candidates.end()),
+              std::set<uint32_t>(via_scan.candidates.begin(),
+                                 via_scan.candidates.end()))
+        << "q=" << q;
+  }
+}
+
+TEST(FilterTest, CandidateSetNeverEmpty) {
+  // The object realizing f_min always survives its own bound.
+  Dataset data = datagen::MakeUniformScatter(500, 100.0, 1.0, 3);
+  PnnFilter filter(data);
+  Rng rng(23);
+  for (int t = 0; t < 20; ++t) {
+    FilterResult r = filter.Filter(rng.Uniform(0.0, 100.0));
+    EXPECT_GE(r.candidates.size(), 1u);
+  }
+}
+
+TEST(FilterTest, SingleObjectDataset) {
+  Dataset data;
+  data.emplace_back(42, MakeUniformPdf(5.0, 7.0));
+  PnnFilter filter(data);
+  FilterResult r = filter.Filter(0.0);
+  EXPECT_NEAR(r.fmin, 7.0, 1e-12);
+  EXPECT_EQ(r.candidates, (std::vector<uint32_t>{0}));
+}
+
+TEST(Filter2DTest, MatchesScan) {
+  Dataset2D data = datagen::MakeSynthetic2D({.count = 800, .seed = 9});
+  PnnFilter2D filter(data);
+  Rng rng(31);
+  for (int t = 0; t < 15; ++t) {
+    Point2 q{rng.Uniform(0.0, 1000.0), rng.Uniform(0.0, 1000.0)};
+    FilterResult via_tree = filter.Filter(q);
+    FilterResult via_scan = FilterByScan2D(data, q);
+    EXPECT_NEAR(via_tree.fmin, via_scan.fmin, 1e-9);
+    EXPECT_EQ(std::set<uint32_t>(via_tree.candidates.begin(),
+                                 via_tree.candidates.end()),
+              std::set<uint32_t>(via_scan.candidates.begin(),
+                                 via_scan.candidates.end()));
+  }
+}
+
+TEST(Filter2DTest, CircleFarPointTighterThanMbr) {
+  // A large circle's MBR corner distance exceeds its true far point; the 2-D
+  // filter must use the exact region distance.
+  Dataset2D data;
+  data.emplace_back(0, Circle2{0.0, 0.0, 10.0});
+  data.emplace_back(1, Rect2{30.0, 30.0, 31.0, 31.0});
+  PnnFilter2D filter(data);
+  FilterResult r = filter.Filter({0.0, 0.0});
+  EXPECT_NEAR(r.fmin, 10.0, 1e-9);  // not 10·√2
+  EXPECT_EQ(r.candidates, (std::vector<uint32_t>{0}));
+}
+
+}  // namespace
+}  // namespace pverify

@@ -1,0 +1,147 @@
+#include "uncertain/geometry2d.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pverify {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(DistancesTest, PointToRect) {
+  Rect2 r{0.0, 0.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(MinDistToRect({2.0, 1.0}, r), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(MinDistToRect({-3.0, 1.0}, r), 3.0);  // left
+  EXPECT_DOUBLE_EQ(MinDistToRect({5.0, 5.0}, r), std::hypot(1.0, 3.0));
+  EXPECT_DOUBLE_EQ(MaxDistToRect({0.0, 0.0}, r), std::hypot(4.0, 2.0));
+  EXPECT_DOUBLE_EQ(MaxDistToRect({2.0, 1.0}, r), std::hypot(2.0, 1.0));
+}
+
+TEST(DistancesTest, PointToCircle) {
+  Circle2 c{0.0, 0.0, 2.0};
+  EXPECT_DOUBLE_EQ(MinDistToCircle({0.5, 0.0}, c), 0.0);  // inside
+  EXPECT_DOUBLE_EQ(MinDistToCircle({5.0, 0.0}, c), 3.0);
+  EXPECT_DOUBLE_EQ(MaxDistToCircle({5.0, 0.0}, c), 7.0);
+  EXPECT_DOUBLE_EQ(MaxDistToCircle({0.0, 0.0}, c), 2.0);
+}
+
+TEST(CircleRectTest, RectFullyInsideDisk) {
+  Rect2 r{-1.0, -1.0, 1.0, 1.0};
+  EXPECT_NEAR(CircleRectIntersectionArea({0.0, 0.0}, 10.0, r), 4.0, 1e-12);
+}
+
+TEST(CircleRectTest, DiskFullyInsideRect) {
+  Rect2 r{-10.0, -10.0, 10.0, 10.0};
+  EXPECT_NEAR(CircleRectIntersectionArea({0.0, 0.0}, 2.0, r), kPi * 4.0,
+              1e-10);
+}
+
+TEST(CircleRectTest, Disjoint) {
+  Rect2 r{5.0, 5.0, 6.0, 6.0};
+  EXPECT_DOUBLE_EQ(CircleRectIntersectionArea({0.0, 0.0}, 1.0, r), 0.0);
+}
+
+TEST(CircleRectTest, HalfDisk) {
+  // Rectangle covering exactly the right half-plane portion of the disk.
+  Rect2 r{0.0, -10.0, 10.0, 10.0};
+  EXPECT_NEAR(CircleRectIntersectionArea({0.0, 0.0}, 2.0, r), kPi * 2.0,
+              1e-10);
+}
+
+TEST(CircleRectTest, QuarterDisk) {
+  Rect2 r{0.0, 0.0, 10.0, 10.0};
+  EXPECT_NEAR(CircleRectIntersectionArea({0.0, 0.0}, 3.0, r), kPi * 9.0 / 4.0,
+              1e-10);
+}
+
+TEST(CircleRectTest, ZeroRadius) {
+  Rect2 r{-1.0, -1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CircleRectIntersectionArea({0.0, 0.0}, 0.0, r), 0.0);
+}
+
+TEST(CircleCircleTest, ContainmentAndDisjoint) {
+  Circle2 c{0.0, 0.0, 3.0};
+  EXPECT_NEAR(CircleCircleIntersectionArea({0.0, 0.0}, 10.0, c), kPi * 9.0,
+              1e-10);
+  EXPECT_NEAR(CircleCircleIntersectionArea({1.0, 0.0}, 1.0, c), kPi, 1e-10);
+  EXPECT_DOUBLE_EQ(CircleCircleIntersectionArea({10.0, 0.0}, 2.0, c), 0.0);
+}
+
+TEST(CircleCircleTest, EqualCirclesAtDistanceR) {
+  // Two unit disks, centers one radius apart; classic lens area
+  // 2·acos(1/2) − (√3)/2.
+  Circle2 c{1.0, 0.0, 1.0};
+  double expect = 2.0 * std::acos(0.5) - std::sqrt(3.0) / 2.0;
+  EXPECT_NEAR(CircleCircleIntersectionArea({0.0, 0.0}, 1.0, c), expect,
+              1e-10);
+}
+
+// Monte-Carlo cross-check of the exact intersection areas.
+class AreaMonteCarloTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AreaMonteCarloTest, CircleRectMatchesSampling) {
+  Rng rng(GetParam() * 31 + 5);
+  Rect2 rect;
+  rect.x1 = rng.Uniform(-5.0, 0.0);
+  rect.y1 = rng.Uniform(-5.0, 0.0);
+  rect.x2 = rect.x1 + rng.Uniform(0.5, 6.0);
+  rect.y2 = rect.y1 + rng.Uniform(0.5, 6.0);
+  Point2 q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+  double r = rng.Uniform(0.5, 5.0);
+
+  double exact = CircleRectIntersectionArea(q, r, rect);
+
+  const int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    Point2 p{rng.Uniform(rect.x1, rect.x2), rng.Uniform(rect.y1, rect.y2)};
+    if (Distance(p, q) <= r) ++hits;
+  }
+  double mc = rect.Area() * hits / kSamples;
+  double sigma = rect.Area() * std::sqrt(0.25 / kSamples);
+  EXPECT_NEAR(exact, mc, 6.0 * sigma + 1e-6);
+}
+
+TEST_P(AreaMonteCarloTest, CircleCircleMatchesSampling) {
+  Rng rng(GetParam() * 17 + 3);
+  Circle2 c{rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0),
+            rng.Uniform(0.5, 3.0)};
+  Point2 q{rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+  double r = rng.Uniform(0.5, 4.0);
+
+  double exact = CircleCircleIntersectionArea(q, r, c);
+
+  const int kSamples = 200000;
+  int hits = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    // Uniform in the bounding box of circle c, count points in both disks.
+    Point2 p{rng.Uniform(c.cx - c.r, c.cx + c.r),
+             rng.Uniform(c.cy - c.r, c.cy + c.r)};
+    if (Distance(p, {c.cx, c.cy}) <= c.r && Distance(p, q) <= r) ++hits;
+  }
+  double box = 4.0 * c.r * c.r;
+  double mc = box * hits / kSamples;
+  double sigma = box * std::sqrt(0.25 / kSamples);
+  EXPECT_NEAR(exact, mc, 6.0 * sigma + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AreaMonteCarloTest, ::testing::Range(0, 8));
+
+// Area is monotone in r — required for valid radial cdfs.
+TEST(CircleRectTest, MonotoneInRadius) {
+  Rect2 rect{0.0, 0.0, 3.0, 2.0};
+  Point2 q{-1.0, 1.0};
+  double prev = 0.0;
+  for (double r = 0.0; r <= 6.0; r += 0.05) {
+    double a = CircleRectIntersectionArea(q, r, rect);
+    EXPECT_GE(a, prev - 1e-12);
+    prev = a;
+  }
+  EXPECT_NEAR(prev, rect.Area(), 1e-9);
+}
+
+}  // namespace
+}  // namespace pverify

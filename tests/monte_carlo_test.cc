@@ -1,0 +1,81 @@
+#include "core/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/basic.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+CandidateSet TwoOverlapping() {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(0.0, 2.0));
+  data.emplace_back(1, MakeUniformPdf(1.0, 3.0));
+  return CandidateSet::Build1D(data, {0, 1}, 0.0);
+}
+
+TEST(MonteCarloTest, ConvergesToExact) {
+  CandidateSet cands = TwoOverlapping();
+  std::vector<double> exact = ComputeExactProbabilities(cands, {});
+  MonteCarloOptions opts;
+  opts.samples = 200000;
+  std::vector<double> mc = MonteCarloProbabilities(cands, opts);
+  ASSERT_EQ(mc.size(), exact.size());
+  for (size_t i = 0; i < mc.size(); ++i) {
+    double sigma = std::sqrt(exact[i] * (1 - exact[i]) / opts.samples);
+    EXPECT_NEAR(mc[i], exact[i], 6.0 * sigma + 1e-4) << "i=" << i;
+  }
+}
+
+TEST(MonteCarloTest, EstimatesSumToOne) {
+  Dataset data;
+  for (int i = 0; i < 6; ++i) {
+    data.emplace_back(i, MakeUniformPdf(i * 0.5, i * 0.5 + 3.0));
+  }
+  CandidateSet cands =
+      CandidateSet::Build1D(data, {0, 1, 2, 3, 4, 5}, 0.0);
+  std::vector<double> mc = MonteCarloProbabilities(cands, {5000, 1});
+  double sum = 0.0;
+  for (double v : mc) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);  // exactly one winner per draw
+}
+
+TEST(MonteCarloTest, DeterministicPerSeed) {
+  CandidateSet cands = TwoOverlapping();
+  std::vector<double> a = MonteCarloProbabilities(cands, {1000, 7});
+  std::vector<double> b = MonteCarloProbabilities(cands, {1000, 7});
+  std::vector<double> c = MonteCarloProbabilities(cands, {1000, 8});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(MonteCarloTest, GaussianPdfsSupported) {
+  Dataset data;
+  data.emplace_back(0, MakeGaussianPdf(0.0, 4.0, 100));
+  data.emplace_back(1, MakeGaussianPdf(1.0, 5.0, 100));
+  CandidateSet cands = CandidateSet::Build1D(data, {0, 1}, 2.0);
+  std::vector<double> exact = ComputeExactProbabilities(cands, {});
+  std::vector<double> mc = MonteCarloProbabilities(cands, {100000, 3});
+  for (size_t i = 0; i < mc.size(); ++i) {
+    EXPECT_NEAR(mc[i], exact[i], 0.02) << "i=" << i;
+  }
+}
+
+TEST(MonteCarloTest, ValidatesSampleCount) {
+  CandidateSet cands = TwoOverlapping();
+  EXPECT_THROW(MonteCarloProbabilities(cands, {0, 1}), std::logic_error);
+}
+
+TEST(MonteCarloTest, SingleCandidateAlwaysWins) {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(1.0, 2.0));
+  CandidateSet cands = CandidateSet::Build1D(data, {0}, 0.0);
+  std::vector<double> mc = MonteCarloProbabilities(cands, {100, 5});
+  EXPECT_DOUBLE_EQ(mc[0], 1.0);
+}
+
+}  // namespace
+}  // namespace pverify

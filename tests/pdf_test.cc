@@ -1,0 +1,167 @@
+#include "uncertain/pdf.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pverify {
+namespace {
+
+TEST(UniformPdfTest, Basics) {
+  Pdf pdf = MakeUniformPdf(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(pdf.lo(), 2.0);
+  EXPECT_DOUBLE_EQ(pdf.hi(), 6.0);
+  EXPECT_DOUBLE_EQ(pdf.Density(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(pdf.Density(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(pdf.Cdf(6.0), 1.0);
+  EXPECT_NEAR(pdf.Mean(), 4.0, 1e-12);
+  EXPECT_NEAR(pdf.Variance(), 16.0 / 12.0, 1e-12);
+  EXPECT_EQ(pdf.num_bars(), 1u);
+  EXPECT_THROW(MakeUniformPdf(3.0, 3.0), std::logic_error);
+}
+
+TEST(GaussianPdfTest, PaperDefaults) {
+  // Paper §V-B.5: 300 bars, mean at center, stddev = width/6.
+  Pdf pdf = MakeGaussianPdf(0.0, 60.0);
+  EXPECT_EQ(pdf.num_bars(), 300u);
+  EXPECT_NEAR(pdf.ProbIn(0.0, 60.0), 1.0, 1e-12);
+  EXPECT_NEAR(pdf.Mean(), 30.0, 1e-6);
+  // ±3σ truncation keeps ~99.7% of the mass inside ±σ·z windows; compare the
+  // center ±1σ mass against the truncated analytic value.
+  double z = StandardNormalCdf(1.0) - StandardNormalCdf(-1.0);
+  double truncation = StandardNormalCdf(3.0) - StandardNormalCdf(-3.0);
+  EXPECT_NEAR(pdf.ProbIn(20.0, 40.0), z / truncation, 1e-3);
+}
+
+TEST(GaussianPdfTest, ExplicitParameters) {
+  Pdf pdf = MakeGaussianPdf(-10.0, 10.0, 2.0, 3.0, 500);
+  EXPECT_NEAR(pdf.ProbIn(-10.0, 10.0), 1.0, 1e-12);
+  // Mode near the mean.
+  EXPECT_GT(pdf.Density(2.0), pdf.Density(-4.0));
+  EXPECT_GT(pdf.Density(2.0), pdf.Density(8.0));
+  // Truncated mean ≈ mean when the window is wide.
+  EXPECT_NEAR(pdf.Mean(), 2.0, 0.05);
+}
+
+TEST(GaussianPdfTest, Validation) {
+  EXPECT_THROW(MakeGaussianPdf(1.0, 0.0), std::logic_error);
+  EXPECT_THROW(MakeGaussianPdf(0.0, 1.0, 0.5, -1.0, 10), std::logic_error);
+  EXPECT_THROW(MakeGaussianPdf(0.0, 1.0, 0.5, 1.0, 0), std::logic_error);
+}
+
+TEST(HistogramPdfTest, WeightsAreNormalized) {
+  Pdf pdf = MakeHistogramPdf(0.0, 4.0, {1.0, 3.0, 3.0, 1.0});
+  EXPECT_NEAR(pdf.ProbIn(0.0, 4.0), 1.0, 1e-12);
+  EXPECT_NEAR(pdf.ProbIn(0.0, 1.0), 1.0 / 8.0, 1e-12);
+  EXPECT_NEAR(pdf.ProbIn(1.0, 2.0), 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(pdf.Mean(), 2.0, 1e-12);  // symmetric
+}
+
+TEST(HistogramPdfTest, ExplicitBreaks) {
+  Pdf pdf = MakeHistogramPdf({0.0, 1.0, 10.0}, {9.0, 1.0});
+  // Bar masses: 9·1 and 1·9 → equal halves.
+  EXPECT_NEAR(pdf.Cdf(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(pdf.Quantile(0.5), 1.0, 1e-12);
+}
+
+TEST(HistogramPdfTest, ZeroWeightBarsAllowed) {
+  Pdf pdf = MakeHistogramPdf(0.0, 3.0, {1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(pdf.Density(1.5), 0.0);
+  EXPECT_NEAR(pdf.ProbIn(0.0, 3.0), 1.0, 1e-12);
+}
+
+TEST(TriangularPdfTest, ShapeAndMass) {
+  Pdf pdf = MakeTriangularPdf(0.0, 2.0, 128);
+  EXPECT_NEAR(pdf.ProbIn(0.0, 2.0), 1.0, 1e-12);
+  EXPECT_NEAR(pdf.Mean(), 1.0, 1e-3);
+  EXPECT_GT(pdf.Density(1.0), pdf.Density(0.2));
+  // Triangular cdf at the midpoint is 1/2.
+  EXPECT_NEAR(pdf.Cdf(1.0), 0.5, 1e-2);
+}
+
+TEST(ExponentialPdfTest, ShapeAndMass) {
+  Pdf pdf = MakeExponentialPdf(5.0, 15.0, 0.5, 256);
+  EXPECT_NEAR(pdf.ProbIn(5.0, 15.0), 1.0, 1e-12);
+  EXPECT_GT(pdf.Density(5.5), pdf.Density(14.5));
+  // Renormalized truncated exponential cdf at lo+2: (1−e^{−1})/(1−e^{−5}).
+  double expect = (1.0 - std::exp(-1.0)) / (1.0 - std::exp(-5.0));
+  EXPECT_NEAR(pdf.Cdf(7.0), expect, 2e-3);
+}
+
+TEST(SamplePdfTest, RecoverUnderlyingDistribution) {
+  // Samples from a known uniform: the estimated pdf should be flat-ish and
+  // span the sample range.
+  Rng rng(41);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.Uniform(3.0, 9.0));
+  Pdf pdf = MakePdfFromSamples(samples, 12);
+  EXPECT_NEAR(pdf.lo(), 3.0, 0.01);
+  EXPECT_NEAR(pdf.hi(), 9.0, 0.01);
+  EXPECT_NEAR(pdf.Mean(), 6.0, 0.05);
+  EXPECT_NEAR(pdf.ProbIn(3.0, 6.0), 0.5, 0.02);
+}
+
+TEST(SamplePdfTest, SkewedSamples) {
+  Rng rng(43);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(std::min(10.0, rng.Exponential(0.7)));
+  }
+  Pdf pdf = MakePdfFromSamples(samples, 16);
+  // Mass concentrated near the low end.
+  EXPECT_GT(pdf.Cdf(2.0), 0.6);
+}
+
+TEST(SamplePdfTest, Validation) {
+  EXPECT_THROW(MakePdfFromSamples({1.0}), std::logic_error);
+  EXPECT_THROW(MakePdfFromSamples({2.0, 2.0, 2.0}), std::logic_error);
+  EXPECT_NO_THROW(MakePdfFromSamples({1.0, 2.0}));
+}
+
+TEST(PdfQuantileTest, RoundTrip) {
+  Pdf pdf = MakeHistogramPdf(0.0, 1.0, {2.0, 1.0, 4.0, 3.0});
+  for (double p : {0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+    EXPECT_NEAR(pdf.Cdf(pdf.Quantile(p)), p, 1e-10);
+  }
+}
+
+// Moments of every factory shape integrate consistently with quadrature.
+class PdfMomentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PdfMomentTest, MeanMatchesNumericIntegration) {
+  int which = GetParam();
+  Pdf pdf = [&which]() {
+    switch (which) {
+      case 0:
+        return MakeUniformPdf(1.0, 4.0);
+      case 1:
+        return MakeGaussianPdf(1.0, 4.0, 100);
+      case 2:
+        return MakeTriangularPdf(1.0, 4.0, 64);
+      case 3:
+        return MakeExponentialPdf(1.0, 4.0, 1.0, 64);
+      default:
+        return MakeHistogramPdf(1.0, 4.0, {1.0, 5.0, 2.0});
+    }
+  }();
+  // Riemann-sum mean over the bars must equal the closed-form Mean().
+  const auto& sf = pdf.density();
+  double mean = 0.0;
+  for (size_t i = 0; i < sf.num_pieces(); ++i) {
+    double a = sf.breaks()[i];
+    double b = sf.breaks()[i + 1];
+    mean += sf.values()[i] * 0.5 * (a + b) * (b - a);
+  }
+  EXPECT_NEAR(pdf.Mean(), mean, 1e-9);
+  EXPECT_GE(pdf.Variance(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, PdfMomentTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace pverify

@@ -1,0 +1,179 @@
+#include "common/piecewise.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace pverify {
+namespace {
+
+TEST(StepFunctionTest, ConstantBasics) {
+  StepFunction f = StepFunction::Constant(1.0, 3.0, 0.5);
+  EXPECT_EQ(f.num_pieces(), 1u);
+  EXPECT_DOUBLE_EQ(f.support_lo(), 1.0);
+  EXPECT_DOUBLE_EQ(f.support_hi(), 3.0);
+  EXPECT_DOUBLE_EQ(f.Value(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.Value(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.Value(3.0), 0.5);
+  EXPECT_DOUBLE_EQ(f.Value(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(f.Value(3.001), 0.0);
+  EXPECT_DOUBLE_EQ(f.TotalMass(), 1.0);
+}
+
+TEST(StepFunctionTest, MultiPieceValueAndIntegral) {
+  StepFunction f({0.0, 1.0, 2.0, 4.0}, {1.0, 0.5, 0.25});
+  EXPECT_DOUBLE_EQ(f.Value(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.Value(1.0), 0.5);  // right-continuous at breakpoints
+  EXPECT_DOUBLE_EQ(f.Value(1.5), 0.5);
+  EXPECT_DOUBLE_EQ(f.Value(3.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(2.0), 1.5);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(3.0), 1.75);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(4.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(100.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.TotalMass(), 2.0);
+}
+
+TEST(StepFunctionTest, IntegralBetween) {
+  StepFunction f({0.0, 2.0, 4.0}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(f.IntegralBetween(1.0, 3.0), 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(f.IntegralBetween(3.0, 1.0), 0.0);  // reversed
+  EXPECT_DOUBLE_EQ(f.IntegralBetween(-10.0, 10.0), 6.0);
+  EXPECT_DOUBLE_EQ(f.IntegralBetween(2.0, 2.0), 0.0);
+}
+
+TEST(StepFunctionTest, ConstructionValidation) {
+  EXPECT_THROW(StepFunction({1.0, 1.0}, {2.0}), std::logic_error);
+  EXPECT_THROW(StepFunction({2.0, 1.0}, {2.0}), std::logic_error);
+  EXPECT_THROW(StepFunction({0.0, 1.0}, {-1.0}), std::logic_error);
+  EXPECT_THROW(StepFunction({0.0, 1.0, 2.0}, {1.0}), std::logic_error);
+  EXPECT_THROW(StepFunction({0.0}, {}), std::logic_error);
+}
+
+TEST(StepFunctionTest, ZeroHeightPiecesAllowed) {
+  StepFunction f({0.0, 1.0, 2.0, 3.0}, {1.0, 0.0, 1.0});
+  EXPECT_DOUBLE_EQ(f.Value(1.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(f.IntegralBetween(1.0, 2.0), 0.0);
+}
+
+TEST(StepFunctionTest, InverseIntegralBasics) {
+  StepFunction f = StepFunction::Constant(0.0, 2.0, 0.5);  // mass 1
+  EXPECT_DOUBLE_EQ(f.InverseIntegral(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.InverseIntegral(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.InverseIntegral(1.0), 2.0);
+}
+
+TEST(StepFunctionTest, InverseIntegralSkipsZeroPieces) {
+  StepFunction f({0.0, 1.0, 2.0, 3.0}, {0.5, 0.0, 0.5});
+  // Mass 0.5 accumulates exactly at x = 1; the inverse must skip the hole.
+  double x = f.InverseIntegral(0.5);
+  EXPECT_GE(x, 1.0);
+  EXPECT_LE(x, 2.0);
+  EXPECT_NEAR(f.InverseIntegral(0.75), 2.5, 1e-12);
+}
+
+TEST(StepFunctionTest, ScaledAndNormalized) {
+  StepFunction f({0.0, 1.0, 3.0}, {2.0, 1.0});  // mass 4
+  StepFunction g = f.Scaled(0.5);
+  EXPECT_DOUBLE_EQ(g.TotalMass(), 2.0);
+  StepFunction n = f.Normalized();
+  EXPECT_DOUBLE_EQ(n.TotalMass(), 1.0);
+  EXPECT_DOUBLE_EQ(n.Value(0.5), 0.5);
+  EXPECT_THROW(f.Scaled(-1.0), std::logic_error);
+}
+
+TEST(StepFunctionTest, NormalizeZeroMassThrows) {
+  StepFunction f({0.0, 1.0}, {0.0});
+  EXPECT_THROW(f.Normalized(), std::logic_error);
+}
+
+TEST(StepFunctionTest, EmptyFunction) {
+  StepFunction f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.Value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.IntegralTo(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.TotalMass(), 0.0);
+}
+
+TEST(SortedUniqueTest, RemovesNearDuplicates) {
+  std::vector<double> xs = {3.0, 1.0, 1.0 + 1e-15, 2.0, 3.0, 1.0};
+  std::vector<double> out = SortedUnique(xs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(MergeBreakpointsTest, MergesSortedLists) {
+  std::vector<double> a = {0.0, 1.0, 2.0};
+  std::vector<double> b = {0.5, 1.0, 3.0};
+  std::vector<double> out = MergeBreakpoints(a, b);
+  std::vector<double> expect = {0.0, 0.5, 1.0, 2.0, 3.0};
+  ASSERT_EQ(out.size(), expect.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], expect[i]);
+}
+
+// Property sweep: random step functions keep integral consistency and
+// inverse-integral round trips.
+class StepFunctionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StepFunctionPropertyTest, IntegralConsistency) {
+  Rng rng(GetParam());
+  const int pieces = 1 + static_cast<int>(rng.UniformInt(0, 19));
+  std::vector<double> breaks = {0.0};
+  std::vector<double> values;
+  for (int i = 0; i < pieces; ++i) {
+    breaks.push_back(breaks.back() + rng.Uniform(0.01, 2.0));
+    values.push_back(rng.Uniform(0.0, 3.0));
+  }
+  StepFunction f(breaks, values);
+
+  // The cdf is non-decreasing and matches manual accumulation.
+  double prev = -1.0;
+  double manual = 0.0;
+  for (int i = 0; i < pieces; ++i) {
+    double x = 0.5 * (breaks[i] + breaks[i + 1]);
+    double I = f.IntegralTo(x);
+    EXPECT_GE(I, prev);
+    prev = I;
+    manual += values[i] * (breaks[i + 1] - breaks[i]);
+  }
+  EXPECT_NEAR(f.TotalMass(), manual, 1e-12 * (1.0 + manual));
+
+  // Inverse round trip at mass quantiles.
+  if (f.TotalMass() > 0.0) {
+    for (double frac : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+      double p = frac * f.TotalMass();
+      double x = f.InverseIntegral(p);
+      EXPECT_NEAR(f.IntegralTo(x), p, 1e-9 * (1.0 + f.TotalMass()));
+    }
+  }
+}
+
+TEST_P(StepFunctionPropertyTest, AdditivityOfIntegralBetween) {
+  Rng rng(GetParam() + 1000);
+  StepFunction f({0.0, rng.Uniform(0.5, 1.0), 2.0, rng.Uniform(2.5, 3.0)},
+                 {rng.Uniform(0.0, 2.0), rng.Uniform(0.0, 2.0),
+                  rng.Uniform(0.0, 2.0)});
+  double a = rng.Uniform(-0.5, 3.5);
+  double b = rng.Uniform(-0.5, 3.5);
+  double c = rng.Uniform(-0.5, 3.5);
+  if (a > b) std::swap(a, b);
+  if (b > c) std::swap(b, c);
+  if (a > b) std::swap(a, b);
+  EXPECT_NEAR(f.IntegralBetween(a, c),
+              f.IntegralBetween(a, b) + f.IntegralBetween(b, c), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace pverify

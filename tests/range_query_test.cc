@@ -1,0 +1,94 @@
+#include "core/range_query.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datagen/synthetic.h"
+
+namespace pverify {
+namespace {
+
+Dataset ThreeObjects() {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(0.0, 4.0));
+  data.emplace_back(1, MakeUniformPdf(2.0, 6.0));
+  data.emplace_back(2, MakeUniformPdf(10.0, 12.0));
+  return data;
+}
+
+TEST(RangeQueryTest, ExactProbabilities) {
+  Dataset data = ThreeObjects();
+  auto results = EvaluateRangeQuery(data, 1.0, 3.0);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].id, 0);
+  EXPECT_NEAR(results[0].probability, 0.5, 1e-12);  // [1,3] of [0,4]
+  EXPECT_EQ(results[1].id, 1);
+  EXPECT_NEAR(results[1].probability, 0.25, 1e-12);  // [2,3] of [2,6]
+}
+
+TEST(RangeQueryTest, ThresholdFilters) {
+  Dataset data = ThreeObjects();
+  auto results = EvaluateRangeQuery(data, 1.0, 3.0, 0.4);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 0);
+}
+
+TEST(RangeQueryTest, FullCoverageIsCertain) {
+  Dataset data = ThreeObjects();
+  auto results = EvaluateRangeQuery(data, -100.0, 100.0);
+  ASSERT_EQ(results.size(), 3u);
+  for (const RangeResult& r : results) {
+    EXPECT_NEAR(r.probability, 1.0, 1e-12);
+  }
+}
+
+TEST(RangeQueryTest, DisjointRangeIsEmpty) {
+  Dataset data = ThreeObjects();
+  EXPECT_TRUE(EvaluateRangeQuery(data, 20.0, 30.0).empty());
+}
+
+TEST(RangeQueryTest, DegenerateRangeRejected) {
+  Dataset data = ThreeObjects();
+  EXPECT_THROW(EvaluateRangeQuery(data, 3.0, 1.0), std::logic_error);
+}
+
+TEST(RangeQueryTest, GaussianPdfProbability) {
+  Dataset data;
+  data.emplace_back(0, MakeGaussianPdf(0.0, 6.0));  // mean 3, sd 1
+  auto results = EvaluateRangeQuery(data, 2.0, 4.0);
+  ASSERT_EQ(results.size(), 1u);
+  double z = StandardNormalCdf(1.0) - StandardNormalCdf(-1.0);
+  double truncation = StandardNormalCdf(3.0) - StandardNormalCdf(-3.0);
+  EXPECT_NEAR(results[0].probability, z / truncation, 1e-3);
+}
+
+TEST(RangeQueryExecutorTest, MatchesScanOnSyntheticData) {
+  Dataset data = datagen::MakeUniformScatter(2000, 1000.0, 5.0, 17);
+  RangeQueryExecutor exec(data);
+  Rng rng(19);
+  for (int t = 0; t < 20; ++t) {
+    double lo = rng.Uniform(0.0, 990.0);
+    double hi = lo + rng.Uniform(0.0, 50.0);
+    double threshold = rng.Uniform(0.0, 0.8);
+    auto via_tree = exec.Execute(lo, hi, threshold);
+    auto via_scan = EvaluateRangeQuery(data, lo, hi, threshold);
+    ASSERT_EQ(via_tree.size(), via_scan.size()) << "t=" << t;
+    for (size_t i = 0; i < via_tree.size(); ++i) {
+      EXPECT_EQ(via_tree[i].id, via_scan[i].id);
+      EXPECT_NEAR(via_tree[i].probability, via_scan[i].probability, 1e-12);
+    }
+  }
+}
+
+TEST(RangeQueryExecutorTest, AppearanceProbabilitiesAreMarginal) {
+  // Unlike PNN probabilities, range probabilities need not sum to 1.
+  Dataset data = ThreeObjects();
+  RangeQueryExecutor exec(data);
+  auto results = exec.Execute(0.0, 12.0);
+  double sum = 0.0;
+  for (const RangeResult& r : results) sum += r.probability;
+  EXPECT_NEAR(sum, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pverify

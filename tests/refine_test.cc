@@ -1,0 +1,176 @@
+#include "core/refine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/basic.h"
+#include "core/classifier.h"
+#include "core/framework.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+CandidateSet MakeCandidates(int n, uint64_t seed, double* q_out = nullptr) {
+  Rng rng(seed);
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    double lo = rng.Uniform(0.0, 30.0);
+    data.emplace_back(i, MakeUniformPdf(lo, lo + rng.Uniform(1.0, 15.0)));
+  }
+  std::vector<uint32_t> idx;
+  for (int i = 0; i < n; ++i) idx.push_back(i);
+  double q = rng.Uniform(0.0, 35.0);
+  if (q_out != nullptr) *q_out = q;
+  return CandidateSet::Build1D(data, idx, q);
+}
+
+TEST(ExactSubregionTest, WeightedSumEqualsBasicProbability) {
+  CandidateSet cands = MakeCandidates(6, 11);
+  ASSERT_FALSE(cands.empty());
+  SubregionTable tbl = SubregionTable::Build(cands);
+  VerificationContext ctx(&cands, &tbl);
+  std::vector<double> exact = ComputeExactProbabilities(cands, {});
+  IntegrationOptions opts;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j + 1 < tbl.num_subregions(); ++j) {
+      if (!tbl.Participates(i, j)) continue;
+      sum += tbl.s(i, j) * ExactSubregionProbability(ctx, i, j, opts);
+    }
+    EXPECT_NEAR(sum, exact[i], 1e-6) << "i=" << i;
+  }
+}
+
+TEST(ExactSubregionTest, ConditionalProbabilityInUnitRange) {
+  CandidateSet cands = MakeCandidates(8, 13);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  VerificationContext ctx(&cands, &tbl);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = 0; j + 1 < tbl.num_subregions(); ++j) {
+      if (!tbl.Participates(i, j)) continue;
+      double q = ExactSubregionProbability(ctx, i, j, {});
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 1.0);
+    }
+  }
+}
+
+TEST(ExactSubregionTest, WithinVerifierBounds) {
+  CandidateSet cands = MakeCandidates(7, 17);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  VerificationContext ctx(&cands, &tbl);
+  LsrVerifier().Apply(ctx);
+  UsrVerifier().Apply(ctx);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = 0; j + 1 < tbl.num_subregions(); ++j) {
+      if (!tbl.Participates(i, j)) continue;
+      double q = ExactSubregionProbability(ctx, i, j, {});
+      EXPECT_GE(q, ctx.QLow(i, j) - 1e-6) << "i=" << i << " j=" << j;
+      EXPECT_LE(q, ctx.QUp(i, j) + 1e-6) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(IncrementalRefineTest, DecidesEveryCandidate) {
+  CandidateSet cands = MakeCandidates(10, 19);
+  CpnnParams params{0.3, 0.01};
+  VerificationFramework fw(&cands, params);
+  fw.RunDefault();
+  RefineStats rs = IncrementalRefine(fw.context(), params, {});
+  for (const Candidate& c : cands.items()) {
+    EXPECT_NE(c.label, Label::kUnknown);
+  }
+  EXPECT_LE(rs.subregion_integrations, rs.subregions_available);
+}
+
+TEST(IncrementalRefineTest, AgreesWithBasicGroundTruth) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    CandidateSet cands = MakeCandidates(9, seed);
+    if (cands.empty()) continue;
+    CandidateSet ground = cands;  // copy before labels change
+    CpnnParams params{0.25, 0.0};  // zero tolerance → answers must be exact
+    VerificationFramework fw(&cands, params);
+    fw.RunDefault();
+    IncrementalRefine(fw.context(), params, {});
+    std::vector<double> exact = ComputeExactProbabilities(ground, {});
+    for (size_t i = 0; i < cands.size(); ++i) {
+      bool in_answer = cands[i].label == Label::kSatisfy;
+      if (exact[i] > params.threshold + 1e-6) {
+        EXPECT_TRUE(in_answer) << "seed=" << seed << " i=" << i;
+      }
+      if (exact[i] < params.threshold - 1e-6) {
+        EXPECT_FALSE(in_answer) << "seed=" << seed << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(IncrementalRefineTest, ToleranceAllowsBoundedError) {
+  for (uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    CandidateSet cands = MakeCandidates(12, seed);
+    if (cands.empty()) continue;
+    CandidateSet ground = cands;
+    CpnnParams params{0.3, 0.05};
+    VerificationFramework fw(&cands, params);
+    fw.RunDefault();
+    IncrementalRefine(fw.context(), params, {});
+    std::vector<double> exact = ComputeExactProbabilities(ground, {});
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (cands[i].label == Label::kSatisfy) {
+        // Definition 1 guarantees p >= P − Δ for every returned object.
+        EXPECT_GE(exact[i], params.threshold - params.tolerance - 1e-6);
+      } else {
+        // And p < P for every rejected object.
+        EXPECT_LT(exact[i], params.threshold + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(IncrementalRefineTest, BothOrdersProduceValidAnswers) {
+  for (RefineOrder order : {RefineOrder::kBySubregionProbability,
+                            RefineOrder::kLeftToRight}) {
+    CandidateSet cands = MakeCandidates(10, 31);
+    CandidateSet ground = cands;
+    CpnnParams params{0.3, 0.0};
+    VerificationFramework fw(&cands, params);
+    fw.RunDefault();
+    IncrementalRefine(fw.context(), params, {}, order);
+    std::vector<double> exact = ComputeExactProbabilities(ground, {});
+    for (size_t i = 0; i < cands.size(); ++i) {
+      if (exact[i] > params.threshold + 1e-6) {
+        EXPECT_EQ(cands[i].label, Label::kSatisfy);
+      }
+      if (exact[i] < params.threshold - 1e-6) {
+        EXPECT_EQ(cands[i].label, Label::kFail);
+      }
+    }
+  }
+}
+
+TEST(IncrementalRefineTest, EarlyStopSavesIntegrations) {
+  // With verifiers first and a generous tolerance, refinement should stop
+  // before exhausting the subregions.
+  CandidateSet cands = MakeCandidates(14, 41);
+  CpnnParams params{0.3, 0.1};
+  VerificationFramework fw(&cands, params);
+  fw.RunDefault();
+  RefineStats rs = IncrementalRefine(fw.context(), params, {});
+  if (rs.refined_candidates > 0) {
+    EXPECT_LT(rs.subregion_integrations, rs.subregions_available);
+  }
+}
+
+TEST(IncrementalRefineTest, NoUnknownNoWork) {
+  CandidateSet cands = MakeCandidates(5, 51);
+  CpnnParams params{0.0001, 1.0};  // everything satisfies instantly
+  VerificationFramework fw(&cands, params);
+  fw.RunDefault();
+  RefineStats rs = IncrementalRefine(fw.context(), params, {});
+  EXPECT_EQ(rs.refined_candidates, 0u);
+  EXPECT_EQ(rs.subregion_integrations, 0u);
+}
+
+}  // namespace
+}  // namespace pverify

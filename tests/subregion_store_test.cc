@@ -1,0 +1,109 @@
+#include "core/subregion_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/verifier.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+CandidateSet MakeCandidates(int n, uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    double lo = rng.Uniform(0.0, 10.0);
+    data.emplace_back(i, MakeUniformPdf(lo, lo + rng.Uniform(5.0, 25.0)));
+  }
+  std::vector<uint32_t> idx(n);
+  for (uint32_t i = 0; i < static_cast<uint32_t>(n); ++i) idx[i] = i;
+  return CandidateSet::Build1D(data, idx, 0.0);
+}
+
+TEST(PagedStoreTest, ContentsMatchTable) {
+  CandidateSet cands = MakeCandidates(40, 3);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  PagedSubregionStore store = PagedSubregionStore::Build(tbl);
+  ASSERT_EQ(store.num_subregions(), tbl.num_subregions());
+  for (size_t j = 0; j < tbl.num_subregions(); ++j) {
+    EXPECT_EQ(store.ListLength(j), static_cast<size_t>(tbl.count(j)));
+    size_t visited = 0;
+    store.ForEachEntry(j, [&](const SubregionEntry& e) {
+      EXPECT_NEAR(e.s, tbl.s(e.candidate, j), 1e-15);
+      EXPECT_NEAR(e.cdf, tbl.cdf(e.candidate, j), 1e-15);
+      EXPECT_TRUE(tbl.Participates(e.candidate, j));
+      ++visited;
+    });
+    EXPECT_EQ(visited, store.ListLength(j));
+  }
+}
+
+TEST(PagedStoreTest, PageCountMatchesCapacity) {
+  CandidateSet cands = MakeCandidates(64, 5);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  PagedSubregionStore::Options opts;
+  opts.page_bytes = 4 * sizeof(SubregionEntry);  // 4 entries per page
+  PagedSubregionStore store = PagedSubregionStore::Build(tbl, opts);
+  EXPECT_EQ(store.entries_per_page(), 4u);
+  size_t expected_pages = 0;
+  for (size_t j = 0; j < tbl.num_subregions(); ++j) {
+    expected_pages += (static_cast<size_t>(tbl.count(j)) + 3) / 4;
+  }
+  EXPECT_EQ(store.num_pages(), expected_pages);
+  EXPECT_EQ(store.StorageBytes(), expected_pages * opts.page_bytes);
+}
+
+TEST(PagedStoreTest, PageReadsAreCounted) {
+  CandidateSet cands = MakeCandidates(30, 7);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  PagedSubregionStore::Options opts;
+  opts.page_bytes = 8 * sizeof(SubregionEntry);
+  PagedSubregionStore store = PagedSubregionStore::Build(tbl, opts);
+  EXPECT_EQ(store.page_reads(), 0u);
+  size_t j = tbl.num_subregions() - 1;
+  store.ForEachEntry(j, [](const SubregionEntry&) {});
+  size_t expect = (store.ListLength(j) + 7) / 8;
+  EXPECT_EQ(store.page_reads(), expect);
+  store.ResetCounters();
+  EXPECT_EQ(store.page_reads(), 0u);
+}
+
+TEST(PagedStoreTest, RsFromStoreMatchesInMemoryVerifier) {
+  CandidateSet cands = MakeCandidates(50, 9);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  PagedSubregionStore store = PagedSubregionStore::Build(tbl);
+  std::vector<double> from_store =
+      RsUpperBoundsFromStore(store, cands.size());
+
+  VerificationContext ctx(&cands, &tbl);
+  RsVerifier().Apply(ctx);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    EXPECT_NEAR(from_store[i], cands[i].bound.upper, 1e-12) << "i=" << i;
+  }
+  // RS touches only the rightmost subregion's pages.
+  size_t rightmost_pages =
+      (store.ListLength(tbl.num_subregions() - 1) + store.entries_per_page() -
+       1) /
+      store.entries_per_page();
+  EXPECT_EQ(store.page_reads(), rightmost_pages);
+}
+
+TEST(PagedStoreTest, TinyPagesStillCorrect) {
+  CandidateSet cands = MakeCandidates(20, 11);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  PagedSubregionStore::Options opts;
+  opts.page_bytes = sizeof(SubregionEntry);  // one entry per page
+  PagedSubregionStore store = PagedSubregionStore::Build(tbl, opts);
+  for (size_t j = 0; j < tbl.num_subregions(); ++j) {
+    size_t visited = 0;
+    store.ForEachEntry(j, [&](const SubregionEntry&) { ++visited; });
+    EXPECT_EQ(visited, static_cast<size_t>(tbl.count(j)));
+  }
+  EXPECT_THROW(
+      PagedSubregionStore::Build(tbl, {.page_bytes = 1}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

@@ -1,0 +1,164 @@
+#include "core/subregion.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "uncertain/pdf.h"
+
+namespace pverify {
+namespace {
+
+// Three uniform objects with staggered near points, query at 0 — the shape
+// of the paper's Fig. 7 example.
+CandidateSet ThreeStaggered() {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(1.0, 6.0));
+  data.emplace_back(1, MakeUniformPdf(2.0, 7.0));
+  data.emplace_back(2, MakeUniformPdf(3.0, 8.0));
+  return CandidateSet::Build1D(data, {0, 1, 2}, 0.0);
+}
+
+TEST(SubregionTest, EndpointsSortedAndAnchored) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  const size_t m = tbl.num_subregions();
+  ASSERT_GE(m, 2u);
+  // e_0 = smallest near point, e_{M-1} = f_min, e_M = f_max.
+  EXPECT_DOUBLE_EQ(tbl.endpoint(0), 1.0);
+  EXPECT_DOUBLE_EQ(tbl.fmin(), 6.0);
+  EXPECT_DOUBLE_EQ(tbl.fmax(), 8.0);
+  for (size_t j = 0; j + 1 < m; ++j) {
+    EXPECT_LT(tbl.endpoint(j), tbl.endpoint(j + 1));
+  }
+  // Interior end-points are exactly the near points here (uniform pdfs have
+  // no internal change points): {1, 2, 3, 6}.
+  EXPECT_EQ(m, 4u);  // [1,2], [2,3], [3,6], [6,8]
+  EXPECT_DOUBLE_EQ(tbl.endpoint(1), 2.0);
+  EXPECT_DOUBLE_EQ(tbl.endpoint(2), 3.0);
+}
+
+TEST(SubregionTest, SubregionProbabilitiesSumToOne) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < tbl.num_subregions(); ++j) sum += tbl.s(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "candidate " << i;
+  }
+}
+
+TEST(SubregionTest, KnownProbabilities) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  // Candidate 0 (uniform on [1,6], width 5): s over [1,2]=0.2, [2,3]=0.2,
+  // [3,6]=0.6, [6,8]=0.
+  EXPECT_NEAR(tbl.s(0, 0), 0.2, 1e-12);
+  EXPECT_NEAR(tbl.s(0, 1), 0.2, 1e-12);
+  EXPECT_NEAR(tbl.s(0, 2), 0.6, 1e-12);
+  EXPECT_NEAR(tbl.s(0, 3), 0.0, 1e-12);
+  // Candidate 2 (uniform on [3,8]): [3,6]=0.6, rightmost [6,8]=0.4.
+  EXPECT_NEAR(tbl.s(2, 2), 0.6, 1e-12);
+  EXPECT_NEAR(tbl.s(2, 3), 0.4, 1e-12);
+}
+
+TEST(SubregionTest, CountsAndCdfTable) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  EXPECT_EQ(tbl.count(0), 1);  // only candidate 0 in [1,2]
+  EXPECT_EQ(tbl.count(1), 2);  // candidates 0,1 in [2,3]
+  EXPECT_EQ(tbl.count(2), 3);  // all three in [3,6]
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = 0; j <= tbl.num_subregions(); ++j) {
+      EXPECT_NEAR(tbl.cdf(i, j), cands[i].dist.Cdf(tbl.endpoint(j)), 1e-12);
+    }
+  }
+  // D at e_0 is 0 for everyone; Y_0 = 1.
+  EXPECT_DOUBLE_EQ(tbl.Y(0), 1.0);
+}
+
+TEST(SubregionTest, YProductsMatchDirectComputation) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  for (size_t j = 0; j <= tbl.num_subregions(); ++j) {
+    double y = 1.0;
+    for (size_t k = 0; k < cands.size(); ++k) {
+      y *= 1.0 - cands[k].dist.Cdf(tbl.endpoint(j));
+    }
+    EXPECT_NEAR(tbl.Y(j), y, 1e-12) << "j=" << j;
+  }
+}
+
+TEST(SubregionTest, ProductExcludingMatchesDirect) {
+  CandidateSet cands = ThreeStaggered();
+  SubregionTable tbl = SubregionTable::Build(cands);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    for (size_t j = 0; j <= tbl.num_subregions(); ++j) {
+      double direct = 1.0;
+      for (size_t k = 0; k < cands.size(); ++k) {
+        if (k != i) direct *= 1.0 - cands[k].dist.Cdf(tbl.endpoint(j));
+      }
+      EXPECT_NEAR(tbl.ProductExcluding(i, j), direct, 1e-9)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(SubregionTest, PdfConstantWithinSubregions) {
+  // The purity property Lemma 3 depends on: no candidate's distance pdf
+  // changes value inside a subregion below f_min.
+  Dataset data;
+  data.emplace_back(0, MakeGaussianPdf(1.0, 6.0, 20));
+  data.emplace_back(1, MakeHistogramPdf(2.0, 7.0, {1.0, 3.0, 2.0}));
+  data.emplace_back(2, MakeUniformPdf(0.5, 8.0));
+  CandidateSet cands = CandidateSet::Build1D(data, {0, 1, 2}, 1.2);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  for (size_t j = 0; j + 1 < tbl.num_subregions(); ++j) {
+    double a = tbl.endpoint(j);
+    double b = tbl.endpoint(j + 1);
+    for (size_t i = 0; i < cands.size(); ++i) {
+      double v1 = cands[i].dist.Density(a + (b - a) * 0.25);
+      double v2 = cands[i].dist.Density(a + (b - a) * 0.75);
+      EXPECT_NEAR(v1, v2, 1e-9) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(SubregionTest, SingleCandidate) {
+  Dataset data;
+  data.emplace_back(0, MakeUniformPdf(3.0, 5.0));
+  CandidateSet cands = CandidateSet::Build1D(data, {0}, 0.0);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  // Rightmost subregion [f_min, f_max] is degenerate (f_min == f_max).
+  EXPECT_DOUBLE_EQ(tbl.fmin(), tbl.fmax());
+  EXPECT_NEAR(tbl.s(0, tbl.num_subregions() - 1), 0.0, 1e-12);
+  double sum = 0.0;
+  for (size_t j = 0; j < tbl.num_subregions(); ++j) sum += tbl.s(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SubregionTest, GaussianCandidatesLargeM) {
+  Dataset data;
+  for (int i = 0; i < 5; ++i) {
+    data.emplace_back(i, MakeGaussianPdf(10.0 + i, 16.0 + i, 50));
+  }
+  CandidateSet cands =
+      CandidateSet::Build1D(data, {0, 1, 2, 3, 4}, 12.0);
+  SubregionTable tbl = SubregionTable::Build(cands);
+  EXPECT_GT(tbl.num_subregions(), 10u);
+  for (size_t i = 0; i < cands.size(); ++i) {
+    double sum = 0.0;
+    for (size_t j = 0; j < tbl.num_subregions(); ++j) sum += tbl.s(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SubregionTest, RequiresNonEmptyCandidates) {
+  CandidateSet empty;
+  EXPECT_THROW(SubregionTable::Build(empty), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

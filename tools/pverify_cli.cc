@@ -1,0 +1,155 @@
+// pverify command-line tool: run probabilistic queries against a dataset
+// file (see datagen/dataset_io.h for the format).
+//
+//   pverify_cli pnn   <dataset> <q>                 exact probabilities
+//   pverify_cli cpnn  <dataset> <q> <P> [tolerance] C-PNN answer (VR)
+//   pverify_cli knn   <dataset> <q> <k> <P>         constrained k-NN
+//   pverify_cli range <dataset> <lo> <hi> [P]       range probabilities
+//   pverify_cli stats <dataset>                     dataset summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/query.h"
+#include "core/range_query.h"
+#include "datagen/dataset_io.h"
+
+using namespace pverify;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pverify_cli pnn   <dataset> <q>\n"
+      "  pverify_cli cpnn  <dataset> <q> <P> [tolerance]\n"
+      "  pverify_cli knn   <dataset> <q> <k> <P>\n"
+      "  pverify_cli range <dataset> <lo> <hi> [P]\n"
+      "  pverify_cli stats <dataset>\n");
+  return 2;
+}
+
+double ParseDouble(const char* s) {
+  char* end = nullptr;
+  double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "error: not a number: %s\n", s);
+    std::exit(2);
+  }
+  return v;
+}
+
+int RunPnn(const Dataset& data, double q) {
+  CpnnExecutor exec(data);
+  auto probs = exec.ComputePnn(q);
+  std::printf("# %zu candidate(s) at q = %g\n", probs.size(), q);
+  for (const auto& [id, p] : probs) {
+    std::printf("%lld %.6f\n", static_cast<long long>(id), p);
+  }
+  return 0;
+}
+
+int RunCpnn(const Dataset& data, double q, double threshold,
+            double tolerance) {
+  CpnnExecutor exec(data);
+  QueryOptions opt;
+  opt.params = {threshold, tolerance};
+  opt.strategy = Strategy::kVR;
+  QueryAnswer ans = exec.Execute(q, opt);
+  std::printf("# C-PNN q=%g P=%g tolerance=%g — %zu answer(s), "
+              "%zu candidate(s), %zu refined\n",
+              q, threshold, tolerance, ans.ids.size(), ans.stats.candidates,
+              ans.stats.refined_candidates);
+  for (ObjectId id : ans.ids) {
+    std::printf("%lld\n", static_cast<long long>(id));
+  }
+  return 0;
+}
+
+int RunKnn(const Dataset& data, double q, int k, double threshold) {
+  CpnnExecutor exec(data);
+  CknnAnswer ans = exec.ExecuteKnn(q, k, {threshold, 0.0});
+  std::printf("# C-PkNN q=%g k=%d P=%g — %zu answer(s), %zu pruned by "
+              "bound, %zu decided early\n",
+              q, k, threshold, ans.ids.size(), ans.pruned_by_bound,
+              ans.early_decided);
+  for (ObjectId id : ans.ids) {
+    std::printf("%lld\n", static_cast<long long>(id));
+  }
+  return 0;
+}
+
+int RunRange(const Dataset& data, double lo, double hi, double threshold) {
+  RangeQueryExecutor exec(data);
+  auto results = exec.Execute(lo, hi, threshold);
+  std::printf("# range [%g, %g] P>=%g — %zu object(s)\n", lo, hi, threshold,
+              results.size());
+  for (const RangeResult& r : results) {
+    std::printf("%lld %.6f\n", static_cast<long long>(r.id), r.probability);
+  }
+  return 0;
+}
+
+int RunStats(const Dataset& data) {
+  if (data.empty()) {
+    std::printf("empty dataset\n");
+    return 0;
+  }
+  double lo = data.front().lo(), hi = data.front().hi();
+  double total_len = 0.0;
+  size_t bars = 0;
+  for (const UncertainObject& obj : data) {
+    lo = std::min(lo, obj.lo());
+    hi = std::max(hi, obj.hi());
+    total_len += obj.hi() - obj.lo();
+    bars += obj.pdf().num_bars();
+  }
+  std::printf("objects:        %zu\n", data.size());
+  std::printf("domain:         [%g, %g]\n", lo, hi);
+  std::printf("mean length:    %.4f\n", total_len / data.size());
+  std::printf("mean pdf bars:  %.1f\n",
+              static_cast<double>(bars) / data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string cmd = argv[1];
+  Dataset data;
+  try {
+    data = datagen::LoadDataset(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  try {
+    if (cmd == "pnn" && argc == 4) {
+      return RunPnn(data, ParseDouble(argv[3]));
+    }
+    if (cmd == "cpnn" && (argc == 5 || argc == 6)) {
+      double tol = argc == 6 ? ParseDouble(argv[5]) : 0.0;
+      return RunCpnn(data, ParseDouble(argv[3]), ParseDouble(argv[4]), tol);
+    }
+    if (cmd == "knn" && argc == 6) {
+      return RunKnn(data, ParseDouble(argv[3]),
+                    static_cast<int>(ParseDouble(argv[4])),
+                    ParseDouble(argv[5]));
+    }
+    if (cmd == "range" && (argc == 5 || argc == 6)) {
+      double threshold = argc == 6 ? ParseDouble(argv[5]) : 0.0;
+      return RunRange(data, ParseDouble(argv[3]), ParseDouble(argv[4]),
+                      threshold);
+    }
+    if (cmd == "stats" && argc == 3) {
+      return RunStats(data);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
