@@ -1,11 +1,12 @@
-// Quickstart: build a few uncertain objects, run a C-PNN, inspect answers.
+// Quickstart: build a few uncertain objects, run C-PNN queries through the
+// engine, inspect answers.
 //
 //   $ ./quickstart
 //
-// Walks through the library's core API: pdfs → objects → executor → query.
+// Walks through the library's API: pdfs → objects → engine → requests.
 #include <cstdio>
 
-#include "core/query.h"
+#include "engine/query_engine.h"
 
 using namespace pverify;
 
@@ -19,13 +20,15 @@ int main() {
   sensors.emplace_back(/*id=*/4, MakeHistogramPdf(20.0, 26.0,
                                                   {1.0, 4.0, 2.0}));
 
-  // 2. The executor bulk-loads an R-tree for the filtering phase.
-  CpnnExecutor executor(sensors);
+  // 2. The engine owns the executor (dataset + R-tree), a worker pool and
+  //    per-worker scratch buffers; it serves single queries and batches.
+  QueryEngine engine(sensors);
 
   // 3. Plain PNN: the exact qualification probability of every candidate.
+  //    The underlying executor stays reachable for the unbatched APIs.
   const double q = 12.0;
   std::printf("PNN at q = %.1f\n", q);
-  for (const auto& [id, p] : executor.ComputePnn(q)) {
+  for (const auto& [id, p] : engine.executor().ComputePnn(q)) {
     std::printf("  object %lld: P(nearest) = %.4f\n",
                 static_cast<long long>(id), p);
   }
@@ -37,7 +40,7 @@ int main() {
   options.strategy = Strategy::kVR;  // verifiers + incremental refinement
   options.report_probabilities = true;
 
-  QueryAnswer answer = executor.Execute(q, options);
+  QueryResult answer = engine.Execute(QueryRequest::Point(q, options));
   std::printf("\nC-PNN (P=%.2f, tolerance=%.2f) answers:", 0.3, 0.01);
   for (ObjectId id : answer.ids) {
     std::printf(" %lld", static_cast<long long>(id));
@@ -56,5 +59,28 @@ int main() {
       s.filter_ms, s.init_ms, s.verify_ms, s.refine_ms);
   std::printf("candidates: %zu, subregions: %zu, integrations: %zu\n",
               s.candidates, s.num_subregions, s.subregion_integrations);
+
+  // 6. Batches: mixed request kinds fan out across the worker pool and
+  //    come back in request order with an aggregate.
+  std::vector<QueryRequest> batch;
+  batch.push_back(QueryRequest::Point(12.0, options));
+  batch.push_back(QueryRequest::Point(21.0, options));
+  batch.push_back(QueryRequest::Min(options));   // likely-smallest sensor
+  batch.push_back(QueryRequest::Max(options));   // likely-largest sensor
+  batch.push_back(QueryRequest::Knn(12.0, 2, options));
+  EngineStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(std::move(batch), &stats);
+  std::printf("\nbatch of %zu requests on %zu threads (%.0f q/s):\n",
+              stats.queries, stats.threads, stats.QueriesPerSec());
+  const char* labels[] = {"point q=12", "point q=21", "min", "max",
+                          "2-NN q=12"};
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("  %-10s →", labels[i]);
+    for (ObjectId id : results[i].ids) {
+      std::printf(" %lld", static_cast<long long>(id));
+    }
+    std::printf("\n");
+  }
   return 0;
 }

@@ -1,15 +1,17 @@
 // Sensor-monitoring scenario (paper §I): a habitat network collects noisy
-// temperature readings; we ask which district's temperature is closest to a
-// given centroid, and which sensor reports the minimum value.
+// temperature readings; a monitoring dashboard periodically asks — in one
+// engine batch — which district's temperature is closest to each cluster
+// centroid and which sensor reports the minimum value.
 //
 // A minimum query is a PNN with q → −∞ (paper: "A minimum (maximum) query is
-// essentially a special case of PNN"), which we place just below the domain.
+// essentially a special case of PNN"); the engine exposes it as a request
+// kind of its own.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common/rng.h"
-#include "core/query.h"
+#include "engine/query_engine.h"
 
 using namespace pverify;
 
@@ -26,25 +28,33 @@ int main() {
     for (int b = 0; b < 8; ++b) bars.push_back(rng.Uniform(0.2, 2.0));
     districts.emplace_back(i, MakeHistogramPdf(base, base + width, bars));
   }
-  CpnnExecutor executor(districts);
+  QueryEngine engine(districts);
 
-  // --- Clustering use case: districts closest to a 18.5°C centroid. ------
-  const double centroid = 18.5;
+  // --- One monitoring tick = one batch: every centroid plus the minimum. --
+  const std::vector<double> centroids = {12.0, 18.5, 22.0};
   QueryOptions options;
   options.params = {/*threshold=*/0.25, /*tolerance=*/0.01};
   options.strategy = Strategy::kVR;
-  QueryAnswer near_centroid = executor.Execute(centroid, options);
-  std::printf("districts with >=25%% chance of being closest to %.1f°C:\n",
-              centroid);
-  for (ObjectId id : near_centroid.ids) {
-    const UncertainObject& obj = districts[static_cast<size_t>(id)];
-    std::printf("  district %2lld (range %.1f–%.1f°C)\n",
-                static_cast<long long>(id), obj.lo(), obj.hi());
+
+  std::vector<QueryRequest> tick;
+  for (double c : centroids) tick.push_back(QueryRequest::Point(c, options));
+  tick.push_back(QueryRequest::Min(options));
+
+  EngineStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(std::move(tick), &stats);
+
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    std::printf("districts with >=25%% chance of being closest to %.1f°C:\n",
+                centroids[c]);
+    for (ObjectId id : results[c].ids) {
+      const UncertainObject& obj = districts[static_cast<size_t>(id)];
+      std::printf("  district %2lld (range %.1f–%.1f°C)\n",
+                  static_cast<long long>(id), obj.lo(), obj.hi());
+    }
   }
 
-  // --- Minimum query: q below every uncertainty region. ------------------
-  double qmin = 0.0;  // all regions start above 8°C
-  QueryAnswer coldest = executor.Execute(qmin, options);
+  const QueryResult& coldest = results.back();
   std::printf("\nsensors with >=25%% chance of reporting the minimum:\n");
   for (ObjectId id : coldest.ids) {
     const UncertainObject& obj = districts[static_cast<size_t>(id)];
@@ -52,9 +62,14 @@ int main() {
                 static_cast<long long>(id), obj.lo(), obj.hi());
   }
 
-  // Raw probabilities for the minimum query, for comparison.
+  std::printf("\ntick: %zu queries on %zu threads in %.3f ms (%.0f q/s)\n",
+              stats.queries, stats.threads, stats.wall_ms,
+              stats.QueriesPerSec());
+
+  // Raw probabilities for the minimum query, for comparison. The plain PNN
+  // API stays available on the engine's executor.
   std::printf("\nexact minimum-value probabilities (top 5):\n");
-  auto probs = executor.ComputePnn(qmin);
+  auto probs = engine.executor().ComputePnn(0.0);  // below every region
   std::sort(probs.begin(), probs.end(), [](const auto& a, const auto& b) {
     return a.second > b.second;
   });
@@ -66,14 +81,16 @@ int main() {
   // --- Why C-PNN instead of PNN? Show the work saved. ---------------------
   QueryOptions basic = options;
   basic.strategy = Strategy::kBasic;
-  QueryAnswer full = executor.Execute(centroid, basic);
-  QueryAnswer constrained = executor.Execute(centroid, options);
+  QueryResult full =
+      engine.Execute(QueryRequest::Point(centroids[1], basic));
+  QueryResult constrained =
+      engine.Execute(QueryRequest::Point(centroids[1], options));
   std::printf(
-      "\nwork comparison at the centroid query:\n"
+      "\nwork comparison at the %.1f°C centroid query:\n"
       "  Basic (exact probabilities): %.3f ms\n"
       "  VR (verifiers + refinement): %.3f ms, %zu of %zu candidates needed "
       "integration\n",
-      full.stats.total_ms, constrained.stats.total_ms,
+      centroids[1], full.stats.total_ms, constrained.stats.total_ms,
       constrained.stats.refined_candidates, constrained.stats.candidates);
   return 0;
 }

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/timer.h"
+
 namespace pverify {
 namespace bench {
 
@@ -38,6 +40,57 @@ size_t DatasetSizeFromEnv(size_t fallback) {
 
 void PrintHeader(const std::string& figure, const std::string& description) {
   std::printf("=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+ThroughputPoint TimeSequentialLoop(const CpnnExecutor& executor,
+                                   const std::vector<double>& points,
+                                   const QueryOptions& options) {
+  ThroughputPoint point;
+  point.threads = 0;
+  point.queries = points.size();
+  Timer wall;
+  for (double q : points) {
+    point.answers += executor.Execute(q, options).ids.size();
+  }
+  point.wall_ms = wall.ElapsedMs();
+  return point;
+}
+
+ThroughputPoint TimeEngineBatch(QueryEngine& engine,
+                                const std::vector<double>& points,
+                                const QueryOptions& options,
+                                EngineStats* stats) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(points.size());
+  for (double q : points) batch.push_back(QueryRequest::Point(q, options));
+
+  // The engine already measures the batch wall time; reuse it rather than
+  // keeping a second clock that could drift from the reported stats.
+  EngineStats local_stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(std::move(batch), &local_stats);
+  ThroughputPoint point;
+  point.threads = engine.num_threads();
+  point.queries = points.size();
+  for (const QueryResult& r : results) point.answers += r.ids.size();
+  point.wall_ms = local_stats.wall_ms;
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return point;
+}
+
+std::vector<size_t> ThreadCountsFromEnv(std::vector<size_t> fallback) {
+  const char* v = std::getenv("PVERIFY_THREADS");
+  if (v == nullptr) return fallback;
+  std::vector<size_t> counts;
+  const char* p = v;
+  while (*p != '\0') {
+    char* end = nullptr;
+    long n = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (n > 0) counts.push_back(static_cast<size_t>(n));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return counts.empty() ? fallback : counts;
 }
 
 }  // namespace bench

@@ -10,6 +10,7 @@
 #include "common/csv.h"
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
+#include "engine/query_engine.h"
 
 namespace pverify {
 namespace bench {
@@ -39,6 +40,35 @@ size_t DatasetSizeFromEnv(size_t fallback);
 
 /// Prints a standard header naming the figure and its setup.
 void PrintHeader(const std::string& figure, const std::string& description);
+
+/// One throughput measurement of a query workload.
+struct ThroughputPoint {
+  size_t threads = 0;  ///< 0 for the sequential (no-engine) loop
+  size_t queries = 0;
+  size_t answers = 0;  ///< total returned ids (cheap equivalence check)
+  double wall_ms = 0.0;
+  double Qps() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
+                         : 0.0;
+  }
+};
+
+/// Times a plain sequential loop of CpnnExecutor::Execute over the points
+/// (the seed's one-query-at-a-time behavior; the engine's baseline).
+ThroughputPoint TimeSequentialLoop(const CpnnExecutor& executor,
+                                   const std::vector<double>& points,
+                                   const QueryOptions& options);
+
+/// Times one QueryEngine::ExecuteBatch over the points at the engine's
+/// thread count. `stats` (optional) receives the batch aggregate.
+ThroughputPoint TimeEngineBatch(QueryEngine& engine,
+                                const std::vector<double>& points,
+                                const QueryOptions& options,
+                                EngineStats* stats = nullptr);
+
+/// Worker-thread counts to sweep, overridable via PVERIFY_THREADS
+/// (comma-separated list, e.g. "1,2,4,8").
+std::vector<size_t> ThreadCountsFromEnv(std::vector<size_t> fallback);
 
 }  // namespace bench
 }  // namespace pverify

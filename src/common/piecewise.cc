@@ -88,13 +88,17 @@ StepFunction StepFunction::Normalized() const {
 }
 
 std::vector<double> SortedUnique(std::vector<double> xs, double eps) {
+  SortedUniqueInPlace(xs, eps);
+  return xs;
+}
+
+void SortedUniqueInPlace(std::vector<double>& xs, double eps) {
   std::sort(xs.begin(), xs.end());
-  std::vector<double> out;
-  out.reserve(xs.size());
-  for (double x : xs) {
-    if (out.empty() || x - out.back() > eps) out.push_back(x);
+  size_t kept = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (kept == 0 || xs[i] - xs[kept - 1] > eps) xs[kept++] = xs[i];
   }
-  return out;
+  xs.resize(kept);
 }
 
 std::vector<double> MergeBreakpoints(const std::vector<double>& a,

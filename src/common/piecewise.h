@@ -82,6 +82,10 @@ std::vector<double> MergeBreakpoints(const std::vector<double>& a,
 /// Sorts, then removes entries closer than eps to their predecessor.
 std::vector<double> SortedUnique(std::vector<double> xs, double eps = 1e-12);
 
+/// In-place SortedUnique: same semantics, no allocation — for hot paths
+/// that reuse the vector's capacity across calls.
+void SortedUniqueInPlace(std::vector<double>& xs, double eps = 1e-12);
+
 }  // namespace pverify
 
 #endif  // PVERIFY_COMMON_PIECEWISE_H_

@@ -2,20 +2,31 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "core/scratch.h"
 
 namespace pverify {
 
 VerificationFramework::VerificationFramework(CandidateSet* candidates,
-                                             CpnnParams params)
+                                             CpnnParams params,
+                                             QueryScratch* scratch)
     : candidates_(candidates), params_(params) {
   PV_CHECK_MSG(candidates_ != nullptr && !candidates_->empty(),
                "verification needs a non-empty candidate set");
   params_.Validate();
+  if (scratch == nullptr) {
+    owned_scratch_ = std::make_unique<QueryScratch>();
+    scratch = owned_scratch_.get();
+  }
   Timer timer;
-  table_ = SubregionTable::Build(*candidates_);
-  ctx_ = std::make_unique<VerificationContext>(candidates_, &table_);
+  SubregionTable::BuildInto(*candidates_, &scratch->table);
+  scratch->context.Reset(candidates_, &scratch->table);
+  table_ = &scratch->table;
+  ctx_ = &scratch->context;
+  ++scratch->queries_served;
   init_ms_ = timer.ElapsedMs();
 }
+
+VerificationFramework::~VerificationFramework() = default;
 
 VerificationStats VerificationFramework::Run(
     const std::vector<std::unique_ptr<Verifier>>& chain) {

@@ -5,38 +5,33 @@
 #define PVERIFY_CORE_FRAMEWORK_H_
 
 #include <memory>
-#include <string>
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/stats.h"
 #include "core/subregion.h"
 #include "core/verifier.h"
 
 namespace pverify {
 
-/// Outcome of one verifier stage.
-struct StageStats {
-  std::string name;
-  double ms = 0.0;
-  size_t unknown_after = 0;
-  size_t satisfy_after = 0;
-  size_t fail_after = 0;
-};
+struct QueryScratch;
 
-/// Outcome of the whole verification phase.
-struct VerificationStats {
-  double init_ms = 0.0;  ///< subregion-table construction
-  std::vector<StageStats> stages;
-  size_t unknown_after = 0;  ///< candidates left for refinement
-};
-
-/// Owns the subregion table and verification context for one query and runs
-/// a verifier chain with classification after every stage.
+/// Runs the verifier → classifier loop for one query: builds (or, with a
+/// QueryScratch, rebuilds in place) the subregion table and verification
+/// context, then applies a verifier chain with classification after every
+/// stage.
 class VerificationFramework {
  public:
   /// Builds the subregion table for the candidate set (initialization step).
   /// The candidate set must stay alive for the framework's lifetime.
-  VerificationFramework(CandidateSet* candidates, CpnnParams params);
+  ///
+  /// When `scratch` is non-null its table/context buffers are reused in
+  /// place (no allocation once warm) and must outlive the framework; when
+  /// null the framework owns fresh state, which is the seed's
+  /// allocate-per-query behavior.
+  VerificationFramework(CandidateSet* candidates, CpnnParams params,
+                        QueryScratch* scratch = nullptr);
+  ~VerificationFramework();
 
   /// Runs the verifiers in order, classifying after each; stops as soon as
   /// no candidate is unknown. Verifiers are skipped entirely once all
@@ -48,14 +43,16 @@ class VerificationFramework {
   VerificationStats RunDefault();
 
   VerificationContext& context() { return *ctx_; }
-  const SubregionTable& table() const { return table_; }
+  const SubregionTable& table() const { return *table_; }
   const CpnnParams& params() const { return params_; }
 
  private:
   CandidateSet* candidates_;  // not owned
   CpnnParams params_;
-  SubregionTable table_;
-  std::unique_ptr<VerificationContext> ctx_;
+  /// Fallback state, allocated only when no scratch was supplied.
+  std::unique_ptr<QueryScratch> owned_scratch_;
+  SubregionTable* table_ = nullptr;        // into the scratch
+  VerificationContext* ctx_ = nullptr;     // into the scratch
   double init_ms_ = 0.0;
 };
 

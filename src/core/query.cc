@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/classifier.h"
+#include "core/framework.h"
 
 namespace pverify {
 namespace {
@@ -49,7 +50,8 @@ std::string_view ToString(Strategy s) {
 }
 
 QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
-                                const QueryOptions& options) {
+                                const QueryOptions& options,
+                                QueryScratch* scratch) {
   options.params.Validate();
   QueryAnswer answer;
   answer.stats.candidates = candidates.size();
@@ -76,7 +78,7 @@ QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
     }
     case Strategy::kRefine:
     case Strategy::kVR: {
-      VerificationFramework framework(&candidates, options.params);
+      VerificationFramework framework(&candidates, options.params, scratch);
       answer.stats.init_ms = 0.0;
       answer.stats.num_subregions = framework.table().num_subregions();
       if (options.strategy == Strategy::kVR) {
@@ -97,7 +99,8 @@ QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
         Timer t;
         RefineStats rs =
             IncrementalRefine(framework.context(), options.params,
-                              options.integration, options.refine_order);
+                              options.integration, options.refine_order,
+                              scratch);
         answer.stats.refine_ms = t.ElapsedMs();
         answer.stats.refined_candidates = rs.refined_candidates;
         answer.stats.subregion_integrations = rs.subregion_integrations;
@@ -123,18 +126,20 @@ CpnnExecutor::CpnnExecutor(Dataset dataset)
   }
 }
 
-QueryAnswer CpnnExecutor::ExecuteMin(const QueryOptions& options) const {
+QueryAnswer CpnnExecutor::ExecuteMin(const QueryOptions& options,
+                                     QueryScratch* scratch) const {
   // Any query point at or below the domain minimum induces the ordering
   // "smaller value = nearer", making the PNN a minimum query.
-  return Execute(domain_lo_ - 1.0, options);
+  return Execute(domain_lo_ - 1.0, options, scratch);
 }
 
-QueryAnswer CpnnExecutor::ExecuteMax(const QueryOptions& options) const {
-  return Execute(domain_hi_ + 1.0, options);
+QueryAnswer CpnnExecutor::ExecuteMax(const QueryOptions& options,
+                                     QueryScratch* scratch) const {
+  return Execute(domain_hi_ + 1.0, options, scratch);
 }
 
-QueryAnswer CpnnExecutor::Execute(double q,
-                                  const QueryOptions& options) const {
+QueryAnswer CpnnExecutor::Execute(double q, const QueryOptions& options,
+                                  QueryScratch* scratch) const {
   Timer total;
   Timer t;
   FilterResult filtered = filter_.Filter(q);
@@ -145,7 +150,8 @@ QueryAnswer CpnnExecutor::Execute(double q,
       CandidateSet::Build1D(dataset_, filtered.candidates, q);
   double build_ms = t.ElapsedMs();
 
-  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options);
+  QueryAnswer answer =
+      ExecuteOnCandidates(std::move(candidates), options, scratch);
   answer.stats.filter_ms = filter_ms;
   answer.stats.init_ms += build_ms;
   answer.stats.dataset_size = dataset_.size();

@@ -18,6 +18,8 @@
 
 namespace pverify {
 
+struct QueryScratch;
+
 /// How a C-PNN is evaluated.
 enum class Strategy {
   kBasic,       ///< exact probabilities for every candidate ([5]'s formula)
@@ -62,8 +64,11 @@ class CpnnExecutor {
 
   const Dataset& dataset() const { return dataset_; }
 
-  /// Evaluates a C-PNN at query point q.
-  QueryAnswer Execute(double q, const QueryOptions& options) const;
+  /// Evaluates a C-PNN at query point q. A non-null `scratch` lends
+  /// reusable verification buffers (see engine/scratch.h); answers are
+  /// identical either way.
+  QueryAnswer Execute(double q, const QueryOptions& options,
+                      QueryScratch* scratch = nullptr) const;
 
   /// Plain PNN: exact qualification probability of every candidate
   /// (id, probability), ascending by id. Objects pruned by filtering have
@@ -82,10 +87,12 @@ class CpnnExecutor {
 
   /// Minimum query: objects likely to hold the smallest value. A PNN with
   /// q = −∞ (paper §I); evaluated at a query point below every region.
-  QueryAnswer ExecuteMin(const QueryOptions& options) const;
+  QueryAnswer ExecuteMin(const QueryOptions& options,
+                         QueryScratch* scratch = nullptr) const;
 
   /// Maximum query: objects likely to hold the largest value (q = +∞).
-  QueryAnswer ExecuteMax(const QueryOptions& options) const;
+  QueryAnswer ExecuteMax(const QueryOptions& options,
+                         QueryScratch* scratch = nullptr) const;
 
  private:
   Dataset dataset_;
@@ -96,9 +103,11 @@ class CpnnExecutor {
 
 /// Evaluates a C-PNN over an already-built candidate set (no filtering).
 /// This is the entry point for the 2-D pipeline and for tests that
-/// construct distance distributions directly.
+/// construct distance distributions directly. A non-null `scratch` lends
+/// reusable verification buffers.
 QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
-                                const QueryOptions& options);
+                                const QueryOptions& options,
+                                QueryScratch* scratch = nullptr);
 
 }  // namespace pverify
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/integrate.h"
 #include "core/classifier.h"
+#include "core/scratch.h"
 
 namespace pverify {
 namespace {
@@ -53,11 +54,16 @@ double ExactSubregionProbability(const VerificationContext& ctx, size_t i,
 RefineStats IncrementalRefine(VerificationContext& ctx,
                               const CpnnParams& params,
                               const IntegrationOptions& options,
-                              RefineOrder order) {
+                              RefineOrder order, QueryScratch* scratch) {
   RefineStats stats;
   const SubregionTable& tbl = *ctx.table;
   const size_t m = tbl.num_subregions();
   CandidateSet& cands = *ctx.candidates;
+
+  // Subregion-ordering workspace, shared across candidates (and across
+  // queries when a scratch lends it).
+  std::vector<size_t> local_js;
+  std::vector<size_t>& js = scratch ? scratch->refine_order : local_js;
 
   for (size_t i = 0; i < cands.size(); ++i) {
     Candidate& cand = cands[i];
@@ -65,7 +71,7 @@ RefineStats IncrementalRefine(VerificationContext& ctx,
     ++stats.refined_candidates;
 
     // Subregions with mass for this candidate, excluding the rightmost.
-    std::vector<size_t> js;
+    js.clear();
     for (size_t j = 0; j + 1 < m; ++j) {
       if (tbl.Participates(i, j)) js.push_back(j);
     }

@@ -48,13 +48,17 @@ struct RefineStats {
 double ExactSubregionProbability(const VerificationContext& ctx, size_t i,
                                  size_t j, const IntegrationOptions& options);
 
+struct QueryScratch;
+
 /// Runs incremental refinement over every still-unknown candidate. On
-/// return no candidate is labeled kUnknown.
+/// return no candidate is labeled kUnknown. A non-null `scratch` lends the
+/// subregion-ordering workspace so repeated queries stop allocating.
 RefineStats IncrementalRefine(VerificationContext& ctx,
                               const CpnnParams& params,
                               const IntegrationOptions& options,
                               RefineOrder order =
-                                  RefineOrder::kBySubregionProbability);
+                                  RefineOrder::kBySubregionProbability,
+                              QueryScratch* scratch = nullptr);
 
 }  // namespace pverify
 

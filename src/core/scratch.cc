@@ -1,0 +1,12 @@
+#include "core/scratch.h"
+
+namespace pverify {
+
+size_t QueryScratch::ApproxBytes() const {
+  return table.ApproxBytes() +
+         context.qlow.capacity() * sizeof(double) +
+         context.qup.capacity() * sizeof(double) +
+         refine_order.capacity() * sizeof(size_t);
+}
+
+}  // namespace pverify

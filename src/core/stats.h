@@ -1,14 +1,32 @@
 // Per-query execution statistics, mirroring the phase breakdown the paper
 // reports (filtering / verification / refinement, Fig. 11) plus verifier
-// stage outcomes (Fig. 12).
+// stage outcomes (Fig. 12). Deliberately free of heavyweight includes so
+// that higher layers (the engine, benches) can consume stats without
+// pulling in the verification machinery.
 #ifndef PVERIFY_CORE_STATS_H_
 #define PVERIFY_CORE_STATS_H_
 
 #include <cstddef>
-
-#include "core/framework.h"
+#include <string>
+#include <vector>
 
 namespace pverify {
+
+/// Outcome of one verifier stage.
+struct StageStats {
+  std::string name;
+  double ms = 0.0;
+  size_t unknown_after = 0;
+  size_t satisfy_after = 0;
+  size_t fail_after = 0;
+};
+
+/// Outcome of the whole verification phase.
+struct VerificationStats {
+  double init_ms = 0.0;  ///< subregion-table construction
+  std::vector<StageStats> stages;
+  size_t unknown_after = 0;  ///< candidates left for refinement
+};
 
 struct QueryStats {
   // Phase timings (milliseconds).

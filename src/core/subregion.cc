@@ -9,8 +9,15 @@
 namespace pverify {
 
 SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
-  PV_CHECK_MSG(!candidates.empty(), "subregion table needs candidates");
   SubregionTable table;
+  BuildInto(candidates, &table);
+  return table;
+}
+
+void SubregionTable::BuildInto(const CandidateSet& candidates,
+                               SubregionTable* out) {
+  PV_CHECK_MSG(!candidates.empty(), "subregion table needs candidates");
+  SubregionTable& table = *out;
   const size_t n = candidates.size();
   table.n_ = n;
 
@@ -19,8 +26,12 @@ SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
 
   // Gather end-points strictly below f_min: near points and distance-pdf
   // change points (paper: circled values in Fig. 7). Everything inside
-  // [f_min, f_max] belongs to the undivided rightmost subregion.
-  std::vector<double> pts;
+  // [f_min, f_max] belongs to the undivided rightmost subregion. The points
+  // are collected straight into endpoints_ so a reused table performs no
+  // allocation once its capacity has grown to the workload's high-water
+  // mark.
+  std::vector<double>& pts = table.endpoints_;
+  pts.clear();
   for (size_t i = 0; i < n; ++i) {
     const Candidate& c = candidates[i];
     for (double b : c.dist.breakpoints()) {
@@ -28,10 +39,11 @@ SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
     }
   }
   pts.push_back(fmin);
-  pts = SortedUnique(std::move(pts), 1e-12);
+  // In place: the out-of-place SortedUnique would allocate a fresh vector
+  // per query and drop the reused capacity.
+  SortedUniqueInPlace(pts, 1e-12);
 
   // endpoints_ = e_0 < e_1 < ... < e_{M-1} = f_min, then e_M = f_max.
-  table.endpoints_ = std::move(pts);
   table.endpoints_.push_back(fmax);
   const size_t m = table.endpoints_.size() - 1;  // number of subregions
   PV_CHECK_MSG(m >= 1, "at least the rightmost subregion must exist");
@@ -63,7 +75,6 @@ SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
     }
     table.y_[j] = y;
   }
-  return table;
 }
 
 double SubregionTable::ProductExcluding(size_t i, size_t j) const {

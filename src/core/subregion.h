@@ -29,6 +29,11 @@ class SubregionTable {
   /// Builds the table for the candidate set. Requires a non-empty set.
   static SubregionTable Build(const CandidateSet& candidates);
 
+  /// Rebuilds `*table` in place for a new candidate set, reusing its
+  /// existing buffer capacity. This is the allocation-free hot path used by
+  /// the engine's per-worker QueryScratch; Build() is a fresh-table wrapper.
+  static void BuildInto(const CandidateSet& candidates, SubregionTable* table);
+
   /// Number of subregions M (>= 1). Subregion indices are 0-based: the
   /// rightmost subregion of the paper (S_M) is index M-1 here.
   size_t num_subregions() const { return m_; }
@@ -68,6 +73,14 @@ class SubregionTable {
   }
 
   static constexpr double kEps = 1e-15;
+
+  /// Approximate heap footprint of the table's buffers (capacity, not
+  /// size). Used by QueryScratch to assert allocation reuse in tests.
+  size_t ApproxBytes() const {
+    return endpoints_.capacity() * sizeof(double) +
+           s_.capacity() * sizeof(double) + cdf_.capacity() * sizeof(double) +
+           count_.capacity() * sizeof(int) + y_.capacity() * sizeof(double);
+  }
 
  private:
   size_t n_ = 0;  // number of candidates

@@ -21,8 +21,21 @@ namespace pverify {
 
 /// Mutable state threaded through the verifier chain and into refinement.
 struct VerificationContext {
-  VerificationContext(CandidateSet* cands, const SubregionTable* tbl)
-      : candidates(cands), table(tbl) {
+  /// An empty context; Reset() must run before any verifier touches it.
+  /// Default-constructible so a QueryScratch can hold one across queries.
+  VerificationContext() = default;
+
+  VerificationContext(CandidateSet* cands, const SubregionTable* tbl) {
+    Reset(cands, tbl);
+  }
+
+  /// Re-targets the context at a (new) candidate set and subregion table,
+  /// reinitializing the n×M bound arrays. assign() reuses the vectors'
+  /// capacity, so a context reset across queries stops allocating once the
+  /// buffers reach the workload's high-water mark.
+  void Reset(CandidateSet* cands, const SubregionTable* tbl) {
+    candidates = cands;
+    table = tbl;
     const size_t n = tbl->num_candidates();
     const size_t m = tbl->num_subregions();
     qlow.assign(n * m, 0.0);
@@ -49,8 +62,8 @@ struct VerificationContext {
   /// bounds (Eq. 4 and its upper-bound analogue) and tightens it.
   void RefreshBound(size_t i);
 
-  CandidateSet* candidates;    // not owned
-  const SubregionTable* table;  // not owned
+  CandidateSet* candidates = nullptr;    // not owned
+  const SubregionTable* table = nullptr;  // not owned
   std::vector<double> qlow;  // n × M per-subregion lower bounds q_ij.l
   std::vector<double> qup;   // n × M per-subregion upper bounds q_ij.u
 };

@@ -1,0 +1,181 @@
+#include "engine/query_engine.h"
+
+#include <utility>
+
+#include "common/timer.h"
+
+namespace pverify {
+
+std::string_view ToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPoint:
+      return "point";
+    case QueryKind::kMin:
+      return "min";
+    case QueryKind::kMax:
+      return "max";
+    case QueryKind::kKnn:
+      return "knn";
+    case QueryKind::kCandidates:
+      return "candidates";
+  }
+  return "?";
+}
+
+QueryRequest QueryRequest::Point(double q, QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kPoint;
+  r.q = q;
+  r.options = std::move(options);
+  return r;
+}
+
+QueryRequest QueryRequest::Min(QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kMin;
+  r.options = std::move(options);
+  return r;
+}
+
+QueryRequest QueryRequest::Max(QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kMax;
+  r.options = std::move(options);
+  return r;
+}
+
+QueryRequest QueryRequest::Knn(double q, int k, QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kKnn;
+  r.q = q;
+  r.k = k;
+  r.options = std::move(options);
+  return r;
+}
+
+QueryRequest QueryRequest::Candidates(CandidateSet candidates,
+                                      QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kCandidates;
+  r.candidates = std::move(candidates);
+  r.options = std::move(options);
+  return r;
+}
+
+namespace {
+
+void MoveAnswerInto(QueryAnswer&& answer, QueryResult* result) {
+  result->ids = std::move(answer.ids);
+  result->stats = std::move(answer.stats);
+  result->candidate_probabilities =
+      std::move(answer.candidate_probabilities);
+}
+
+void AccumulateStages(const QueryStats& stats, EngineStats* agg) {
+  for (const StageStats& stage : stats.verification.stages) {
+    EngineStats::StageTotal* slot = nullptr;
+    for (EngineStats::StageTotal& t : agg->verifier_stages) {
+      if (t.name == stage.name) {
+        slot = &t;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      agg->verifier_stages.push_back(EngineStats::StageTotal{stage.name,
+                                                             0.0, 0});
+      slot = &agg->verifier_stages.back();
+    }
+    slot->ms += stage.ms;
+    ++slot->runs;
+  }
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
+    : executor_(std::move(dataset)),
+      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : options.num_threads) {
+  worker_scratches_.reserve(pool_.size());
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    worker_scratches_.push_back(std::make_unique<QueryScratch>());
+  }
+}
+
+QueryResult QueryEngine::Execute(QueryRequest request) {
+  std::lock_guard<std::mutex> lock(serial_mu_);
+  return ExecuteOne(std::move(request), &serial_scratch_);
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    std::vector<QueryRequest> requests, EngineStats* stats) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  std::vector<QueryResult> results(requests.size());
+  Timer wall;
+  pool_.ParallelFor(requests.size(), [&](size_t worker, size_t index) {
+    results[index] = ExecuteOne(std::move(requests[index]),
+                                worker_scratches_[worker].get());
+  });
+  if (stats != nullptr) {
+    *stats = EngineStats{};
+    stats->queries = results.size();
+    stats->threads = pool_.size();
+    stats->wall_ms = wall.ElapsedMs();
+    for (const QueryResult& r : results) {
+      r.stats.AccumulateInto(stats->totals);
+      AccumulateStages(r.stats, stats);
+    }
+  }
+  return results;
+}
+
+size_t QueryEngine::ScratchQueriesServed() const {
+  std::scoped_lock lock(serial_mu_, batch_mu_);
+  size_t total = serial_scratch_.queries_served;
+  for (const auto& s : worker_scratches_) total += s->queries_served;
+  return total;
+}
+
+size_t QueryEngine::ScratchBytes() const {
+  std::scoped_lock lock(serial_mu_, batch_mu_);
+  size_t total = serial_scratch_.ApproxBytes();
+  for (const auto& s : worker_scratches_) total += s->ApproxBytes();
+  return total;
+}
+
+QueryResult QueryEngine::ExecuteOne(QueryRequest&& request,
+                                    QueryScratch* scratch) const {
+  QueryResult result;
+  switch (request.kind) {
+    case QueryKind::kPoint:
+      MoveAnswerInto(executor_.Execute(request.q, request.options, scratch),
+                     &result);
+      break;
+    case QueryKind::kMin:
+      MoveAnswerInto(executor_.ExecuteMin(request.options, scratch), &result);
+      break;
+    case QueryKind::kMax:
+      MoveAnswerInto(executor_.ExecuteMax(request.options, scratch), &result);
+      break;
+    case QueryKind::kKnn: {
+      Timer t;
+      CknnAnswer answer =
+          executor_.ExecuteKnn(request.q, request.k, request.options.params,
+                               request.options.integration);
+      result.stats.total_ms = t.ElapsedMs();
+      result.stats.dataset_size = executor_.dataset().size();
+      result.stats.candidates = answer.bounds.size();
+      result.ids = answer.ids;
+      result.knn = std::move(answer);
+      break;
+    }
+    case QueryKind::kCandidates:
+      MoveAnswerInto(ExecuteOnCandidates(std::move(request.candidates),
+                                         request.options, scratch),
+                     &result);
+      break;
+  }
+  return result;
+}
+
+}  // namespace pverify

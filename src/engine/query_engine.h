@@ -1,0 +1,144 @@
+// The batched multi-threaded query engine.
+//
+// A QueryEngine owns a CpnnExecutor (dataset + R-tree), a fixed-size worker
+// pool and one QueryScratch per worker. It exposes a unified request/result
+// API over every query family the library evaluates — point C-PNN, min/max,
+// constrained k-NN, and pre-built candidate sets (the 2-D pipeline's entry
+// point) — and fans request batches across the workers with dynamic load
+// balancing. Results are returned in request order and are bit-identical to
+// running the same requests sequentially through CpnnExecutor: workers
+// share nothing but the read-only executor, and each query's arithmetic is
+// unchanged.
+#ifndef PVERIFY_ENGINE_QUERY_ENGINE_H_
+#define PVERIFY_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/scratch.h"
+#include "engine/thread_pool.h"
+
+namespace pverify {
+
+/// Which query family a request runs.
+enum class QueryKind {
+  kPoint,       ///< C-PNN at a query point
+  kMin,         ///< minimum query (PNN with q = −∞)
+  kMax,         ///< maximum query (PNN with q = +∞)
+  kKnn,         ///< constrained probabilistic k-NN
+  kCandidates,  ///< C-PNN over a pre-built candidate set (2-D pipeline)
+};
+
+std::string_view ToString(QueryKind kind);
+
+/// One query to execute. Build with the factory helpers.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kPoint;
+  double q = 0.0;  ///< query point (kPoint, kKnn)
+  int k = 2;       ///< neighbor count (kKnn)
+  QueryOptions options;
+  /// Payload for kCandidates; consumed when the request executes.
+  CandidateSet candidates;
+
+  static QueryRequest Point(double q, QueryOptions options = {});
+  static QueryRequest Min(QueryOptions options = {});
+  static QueryRequest Max(QueryOptions options = {});
+  static QueryRequest Knn(double q, int k, QueryOptions options = {});
+  static QueryRequest Candidates(CandidateSet candidates,
+                                 QueryOptions options = {});
+};
+
+/// Result of one request, in the same shape regardless of kind.
+struct QueryResult {
+  /// IDs of objects satisfying the query, ascending.
+  std::vector<ObjectId> ids;
+  QueryStats stats;
+  /// Per-candidate bounds (kPoint/kMin/kMax/kCandidates when
+  /// options.report_probabilities is set).
+  std::vector<AnswerEntry> candidate_probabilities;
+  /// Full k-NN answer; engaged only for kKnn requests.
+  std::optional<CknnAnswer> knn;
+};
+
+struct EngineOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  size_t num_threads = 0;
+};
+
+/// Aggregate outcome of one ExecuteBatch call.
+struct EngineStats {
+  size_t queries = 0;
+  size_t threads = 0;
+  double wall_ms = 0.0;  ///< end-to-end batch wall time
+  /// Per-phase totals accumulated over every query (QueryStats semantics).
+  QueryStats totals;
+
+  /// Verifier stage time/run totals aggregated by stage name, in chain
+  /// order of first appearance (reproduces the paper's Fig. 12 fractions
+  /// at engine level).
+  struct StageTotal {
+    std::string name;
+    double ms = 0.0;
+    size_t runs = 0;
+  };
+  std::vector<StageTotal> verifier_stages;
+
+  double QueriesPerSec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
+                         : 0.0;
+  }
+  double AvgQueryMs() const {
+    return queries > 0 ? totals.total_ms / static_cast<double>(queries) : 0.0;
+  }
+  /// Fraction of summed per-query time spent in a phase (filter / init /
+  /// verify / refine).
+  double PhaseFraction(double QueryStats::*phase) const {
+    return totals.total_ms > 0.0 ? totals.*phase / totals.total_ms : 0.0;
+  }
+};
+
+/// Serves any number of queries over one dataset, sequentially or batched.
+/// ExecuteBatch is safe to call from one thread at a time; Execute may be
+/// called concurrently with itself (it serializes on an internal scratch).
+class QueryEngine {
+ public:
+  explicit QueryEngine(Dataset dataset, EngineOptions options = {});
+
+  const CpnnExecutor& executor() const { return executor_; }
+  size_t num_threads() const { return pool_.size(); }
+
+  /// Executes one request on the calling thread (no pool dispatch).
+  QueryResult Execute(QueryRequest request);
+
+  /// Executes a batch across the worker pool; results are in request
+  /// order. When `stats` is non-null it receives the batch aggregate.
+  std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
+                                        EngineStats* stats = nullptr);
+
+  /// Total queries served from the per-worker scratches (telemetry).
+  size_t ScratchQueriesServed() const;
+  /// Approximate heap footprint of all scratch arenas.
+  size_t ScratchBytes() const;
+
+ private:
+  QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch) const;
+
+  CpnnExecutor executor_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<QueryScratch>> worker_scratches_;
+  QueryScratch serial_scratch_;  ///< used by Execute()
+  /// Mutable so the const telemetry accessors can exclude in-flight
+  /// queries mutating the scratches.
+  mutable std::mutex serial_mu_;
+  /// One batch at a time owns the pool + worker scratches.
+  mutable std::mutex batch_mu_;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,16 @@
+// Per-worker scratch arena — the engine-facing name for core's
+// QueryScratch.
+//
+// The engine gives each worker thread one QueryScratch and routes every
+// request executed on that worker through it, so the verification buffers
+// (subregion table, n×M bound arrays, refinement workspace) are reused
+// across the worker's whole query stream. The type itself lives in core —
+// its members and consumers are all core — keeping core free of engine
+// includes; this header exists so engine code and engine users name it as
+// part of the engine subsystem.
+#ifndef PVERIFY_ENGINE_SCRATCH_H_
+#define PVERIFY_ENGINE_SCRATCH_H_
+
+#include "core/scratch.h"
+
+#endif  // PVERIFY_ENGINE_SCRATCH_H_

@@ -1,0 +1,116 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace pverify {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push([t = std::move(task)](size_t) { t(); });
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t worker, size_t index)>& fn) {
+  if (n == 0) return;
+
+  std::atomic<size_t> cursor{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+  const size_t spawned = std::min(size(), n);
+  size_t pending = spawned;
+
+  // One runner per worker; each pulls the next unprocessed index until the
+  // batch is exhausted, so stragglers never serialize the whole batch.
+  auto runner = [&](size_t worker) {
+    for (;;) {
+      const size_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= n) break;
+      try {
+        fn(worker, index);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(done_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    // Notify while holding the lock: the waiter owns done_cv's stack frame
+    // and may destroy it the instant pending reaches 0 unlocked.
+    std::lock_guard<std::mutex> g(done_mu);
+    --pending;
+    done_cv.notify_one();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t t = 0; t < spawned; ++t) {
+      tasks_.push(runner);
+      ++in_flight_;
+    }
+  }
+  task_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return pending == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  for (;;) {
+    std::function<void(size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock,
+                       [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    try {
+      task(worker_id);
+    } catch (...) {
+      // Submit() tasks own their error handling (ParallelFor runners catch
+      // internally); swallowing here keeps one bad task from terminating
+      // the process via an escaping exception.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace pverify

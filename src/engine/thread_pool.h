@@ -1,0 +1,66 @@
+// Fixed-size worker pool for the query engine.
+//
+// Workers are spawned once at construction and live for the pool's
+// lifetime; query batches are fanned out with ParallelFor, which hands out
+// item indices through an atomic cursor so fast workers steal the slack of
+// slow ones (queries vary wildly in refinement cost). Each callback also
+// receives a stable worker id in [0, size()) so callers can maintain
+// per-worker state — the engine keys its QueryScratch arenas off it.
+#ifndef PVERIFY_ENGINE_THREAD_POOL_H_
+#define PVERIFY_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pverify {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task for any worker. Fire-and-forget; pair with WaitIdle()
+  /// to synchronize.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  /// Runs fn(worker, index) for every index in [0, n), distributing indices
+  /// dynamically over the workers. Blocks until all indices are processed.
+  /// `worker` is a stable id in [0, size()). If any callback throws, one of
+  /// the exceptions is rethrown here after the loop drains.
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t worker, size_t index)>& fn);
+
+  /// Hardware concurrency with a safe fallback (>= 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop(size_t worker_id);
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void(size_t)>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  size_t in_flight_ = 0;  // queued + running tasks
+  bool stopping_ = false;
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_ENGINE_THREAD_POOL_H_

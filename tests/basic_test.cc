@@ -58,11 +58,12 @@ TEST(BasicTest, HalfOverlapAnalytic) {
 
 TEST(BasicTest, QueryInsideObjectDominates) {
   // Object 0 contains q: its distance starts at 0; object 1 starts at 2.
+  // R_0 ∈ [0, 1.5], R_1 ∈ [2, 3]: object 1's near point exceeds f_min, so
+  // the near-point rule prunes it (p_1 = 0) and p_0 = 1.
   CandidateSet cands = FromIntervals({{-1.0, 1.0}, {2.5, 3.5}}, 0.5);
+  ASSERT_EQ(cands.size(), 1u);
   std::vector<double> p = ComputeExactProbabilities(cands, {});
-  // R_0 ∈ [0, 1.5], R_1 ∈ [2, 3]: R_0 < f_min a.s. → p_0 = 1.
   EXPECT_NEAR(p[0], 1.0, 1e-9);
-  EXPECT_NEAR(p[1], 0.0, 1e-9);
 }
 
 TEST(BasicTest, ProbabilitiesSumToOne) {

@@ -1,0 +1,203 @@
+#include "engine/query_engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+
+namespace pverify {
+namespace {
+
+// Overlap-heavy dataset so verification and refinement both do real work.
+Dataset TestDataset(size_t count = 500) {
+  return datagen::MakeUniformScatter(count, 250.0, 2.0, /*seed=*/3);
+}
+
+std::vector<double> TestQueryPoints(size_t count = 16) {
+  return datagen::MakeQueryPoints(count, 0.0, 250.0, /*seed=*/21);
+}
+
+QueryOptions OptionsFor(Strategy strategy) {
+  QueryOptions opt;
+  opt.params = {0.3, 0.01};
+  opt.strategy = strategy;
+  opt.report_probabilities = true;
+  return opt;
+}
+
+void ExpectIdenticalAnswer(const QueryAnswer& expected,
+                           const QueryResult& got, const char* what) {
+  EXPECT_EQ(expected.ids, got.ids) << what;
+  ASSERT_EQ(expected.candidate_probabilities.size(),
+            got.candidate_probabilities.size())
+      << what;
+  for (size_t i = 0; i < expected.candidate_probabilities.size(); ++i) {
+    const AnswerEntry& e = expected.candidate_probabilities[i];
+    const AnswerEntry& g = got.candidate_probabilities[i];
+    EXPECT_EQ(e.id, g.id) << what << " entry " << i;
+    // Bit-identical, not approximately equal: the batched path must run the
+    // exact same arithmetic as the sequential one.
+    EXPECT_EQ(e.bound.lower, g.bound.lower) << what << " entry " << i;
+    EXPECT_EQ(e.bound.upper, g.bound.upper) << what << " entry " << i;
+  }
+}
+
+TEST(QueryEngineTest, BatchAtFourThreadsMatchesSequentialAllStrategies) {
+  Dataset data = TestDataset();
+  CpnnExecutor sequential(data);
+  EngineOptions eopt;
+  eopt.num_threads = 4;
+  QueryEngine engine(data, eopt);
+  ASSERT_EQ(engine.num_threads(), 4u);
+
+  const std::vector<double> points = TestQueryPoints();
+  for (Strategy strategy : {Strategy::kBasic, Strategy::kRefine,
+                            Strategy::kVR, Strategy::kMonteCarlo}) {
+    QueryOptions opt = OptionsFor(strategy);
+    std::vector<QueryRequest> batch;
+    for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
+    std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
+    ASSERT_EQ(results.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      QueryAnswer expected = sequential.Execute(points[i], opt);
+      ExpectIdenticalAnswer(expected, results[i], ToString(strategy).data());
+    }
+  }
+}
+
+TEST(QueryEngineTest, MixedKindBatchMatchesDirectCalls) {
+  Dataset data = TestDataset(200);
+  CpnnExecutor sequential(data);
+  EngineOptions eopt;
+  eopt.num_threads = 4;
+  QueryEngine engine(data, eopt);
+
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+  const double q = 125.0;
+
+  auto build_candidates = [&] {
+    FilterResult filtered = sequential.Filter(q);
+    return CandidateSet::Build1D(data, filtered.candidates, q);
+  };
+
+  std::vector<QueryRequest> batch;
+  batch.push_back(QueryRequest::Point(q, opt));
+  batch.push_back(QueryRequest::Min(opt));
+  batch.push_back(QueryRequest::Max(opt));
+  batch.push_back(QueryRequest::Knn(q, 3, opt));
+  batch.push_back(QueryRequest::Candidates(build_candidates(), opt));
+  std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
+  ASSERT_EQ(results.size(), 5u);
+
+  ExpectIdenticalAnswer(sequential.Execute(q, opt), results[0], "point");
+  ExpectIdenticalAnswer(sequential.ExecuteMin(opt), results[1], "min");
+  ExpectIdenticalAnswer(sequential.ExecuteMax(opt), results[2], "max");
+
+  CknnAnswer knn = sequential.ExecuteKnn(q, 3, opt.params, opt.integration);
+  EXPECT_EQ(knn.ids, results[3].ids);
+  ASSERT_TRUE(results[3].knn.has_value());
+  ASSERT_EQ(knn.bounds.size(), results[3].knn->bounds.size());
+  for (size_t i = 0; i < knn.bounds.size(); ++i) {
+    EXPECT_EQ(knn.bounds[i].lower, results[3].knn->bounds[i].lower);
+    EXPECT_EQ(knn.bounds[i].upper, results[3].knn->bounds[i].upper);
+  }
+
+  ExpectIdenticalAnswer(ExecuteOnCandidates(build_candidates(), opt),
+                        results[4], "candidates");
+}
+
+TEST(QueryEngineTest, ScratchReusedAcrossHundredQueriesYieldsSameAnswers) {
+  Dataset data = TestDataset(300);
+  CpnnExecutor exec(data);
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+  const std::vector<double> points =
+      datagen::MakeQueryPoints(100, 0.0, 250.0, /*seed=*/33);
+
+  QueryScratch scratch;
+  for (double q : points) {
+    QueryAnswer fresh = exec.Execute(q, opt);            // fresh state
+    QueryAnswer reused = exec.Execute(q, opt, &scratch);  // borrowed buffers
+    EXPECT_EQ(fresh.ids, reused.ids) << "q=" << q;
+    ASSERT_EQ(fresh.candidate_probabilities.size(),
+              reused.candidate_probabilities.size());
+    for (size_t i = 0; i < fresh.candidate_probabilities.size(); ++i) {
+      EXPECT_EQ(fresh.candidate_probabilities[i].bound.lower,
+                reused.candidate_probabilities[i].bound.lower);
+      EXPECT_EQ(fresh.candidate_probabilities[i].bound.upper,
+                reused.candidate_probabilities[i].bound.upper);
+    }
+  }
+  EXPECT_EQ(scratch.queries_served, points.size());
+
+  // The arena stops growing once it has seen the workload: replaying the
+  // same queries allocates nothing new.
+  const size_t high_water = scratch.ApproxBytes();
+  EXPECT_GT(high_water, 0u);
+  for (double q : points) exec.Execute(q, opt, &scratch);
+  EXPECT_EQ(scratch.ApproxBytes(), high_water);
+  EXPECT_EQ(scratch.queries_served, 2 * points.size());
+}
+
+TEST(QueryEngineTest, BatchStatsAggregateThroughputAndStages) {
+  Dataset data = TestDataset(300);
+  EngineOptions eopt;
+  eopt.num_threads = 2;
+  QueryEngine engine(data, eopt);
+
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+  std::vector<QueryRequest> batch;
+  for (double q : TestQueryPoints(12)) {
+    batch.push_back(QueryRequest::Point(q, opt));
+  }
+  EngineStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(std::move(batch), &stats);
+  ASSERT_EQ(results.size(), 12u);
+  EXPECT_EQ(stats.queries, 12u);
+  EXPECT_EQ(stats.threads, 2u);
+  EXPECT_GT(stats.wall_ms, 0.0);
+  EXPECT_GT(stats.QueriesPerSec(), 0.0);
+  EXPECT_GT(stats.totals.candidates, 0u);
+  // The VR chain ran, so stage totals carry at least the RS verifier.
+  ASSERT_FALSE(stats.verifier_stages.empty());
+  EXPECT_EQ(stats.verifier_stages[0].name, "RS");
+  EXPECT_GT(stats.verifier_stages[0].runs, 0u);
+  // Phase fractions refer to summed per-query time and stay in [0, 1].
+  for (double f : {stats.PhaseFraction(&QueryStats::filter_ms),
+                   stats.PhaseFraction(&QueryStats::verify_ms),
+                   stats.PhaseFraction(&QueryStats::refine_ms)}) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_GE(engine.ScratchQueriesServed(), 12u);
+  EXPECT_GT(engine.ScratchBytes(), 0u);
+}
+
+TEST(QueryEngineTest, EmptyBatchAndSingleExecute) {
+  Dataset data = TestDataset(50);
+  QueryEngine engine(data, EngineOptions{1});
+  EngineStats stats;
+  EXPECT_TRUE(engine.ExecuteBatch({}, &stats).empty());
+  EXPECT_EQ(stats.queries, 0u);
+
+  QueryResult r = engine.Execute(
+      QueryRequest::Point(10.0, OptionsFor(Strategy::kVR)));
+  QueryAnswer expected =
+      CpnnExecutor(data).Execute(10.0, OptionsFor(Strategy::kVR));
+  EXPECT_EQ(expected.ids, r.ids);
+}
+
+TEST(QueryEngineTest, InvalidParamsSurfaceFromBatch) {
+  Dataset data = TestDataset(50);
+  QueryEngine engine(data, EngineOptions{2});
+  QueryOptions bad;
+  bad.params = {0.0, 0.0};  // threshold must be positive
+  std::vector<QueryRequest> batch;
+  batch.push_back(QueryRequest::Point(10.0, bad));
+  EXPECT_THROW(engine.ExecuteBatch(std::move(batch)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pverify

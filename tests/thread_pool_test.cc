@@ -1,0 +1,99 @@
+#include "engine/thread_pool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pverify {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, [&](size_t worker, size_t index) {
+    ASSERT_LT(worker, 4u);
+    ASSERT_LT(index, n);
+    hits[index].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForUsesMultipleWorkers) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<size_t> workers_seen;
+  pool.ParallelFor(256, [&](size_t worker, size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    workers_seen.insert(worker);
+  });
+  // Dynamic scheduling makes the exact count nondeterministic, but every
+  // reported id must be a valid worker.
+  for (size_t w : workers_seen) EXPECT_LT(w, 4u);
+  EXPECT_GE(workers_seen.size(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(8,
+                                [](size_t, size_t index) {
+                                  if (index == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool survives and stays usable.
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t, size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor joins after the queue drains
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroThreadRequestClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t worker, size_t) {
+    EXPECT_EQ(worker, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace pverify

@@ -6,14 +6,19 @@
 //   pverify_cli knn   <dataset> <q> <k> <P>         constrained k-NN
 //   pverify_cli range <dataset> <lo> <hi> [P]       range probabilities
 //   pverify_cli stats <dataset>                     dataset summary
+//   pverify_cli batch <dataset> <n> [threads] [P]   batched throughput run
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "bench_util/harness.h"
 #include "core/query.h"
 #include "core/range_query.h"
 #include "datagen/dataset_io.h"
+#include "datagen/workload.h"
+#include "engine/query_engine.h"
 
 using namespace pverify;
 
@@ -27,7 +32,9 @@ int Usage() {
       "  pverify_cli cpnn  <dataset> <q> <P> [tolerance]\n"
       "  pverify_cli knn   <dataset> <q> <k> <P>\n"
       "  pverify_cli range <dataset> <lo> <hi> [P]\n"
-      "  pverify_cli stats <dataset>\n");
+      "  pverify_cli stats <dataset>\n"
+      "  pverify_cli batch <dataset> <num_queries> [threads] [P] "
+      "[tolerance]\n");
   return 2;
 }
 
@@ -92,6 +99,64 @@ int RunRange(const Dataset& data, double lo, double hi, double threshold) {
   return 0;
 }
 
+// Batched throughput mode: random query points over the dataset's domain,
+// run once as a sequential loop and once through the multi-threaded engine.
+int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
+             double threshold, double tolerance) {
+  if (data.empty()) {
+    std::fprintf(stderr, "error: empty dataset\n");
+    return 1;
+  }
+  double lo = data.front().lo(), hi = data.front().hi();
+  for (const UncertainObject& obj : data) {
+    lo = std::min(lo, obj.lo());
+    hi = std::max(hi, obj.hi());
+  }
+  const std::vector<double> points =
+      datagen::MakeQueryPoints(num_queries, lo, hi, /*seed=*/101);
+
+  QueryOptions opt;
+  opt.params = {threshold, tolerance};
+  opt.strategy = Strategy::kVR;
+
+  // Sequential baseline (one-query-at-a-time loop), then the batched
+  // engine, both timed by the shared bench helpers.
+  CpnnExecutor exec(data);
+  bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
+
+  EngineOptions eopt;
+  eopt.num_threads = threads;  // 0 = hardware concurrency
+  QueryEngine engine(data, eopt);
+  EngineStats stats;
+  bench::ThroughputPoint batched =
+      bench::TimeEngineBatch(engine, points, opt, &stats);
+
+  std::printf("# batch P=%g tolerance=%g queries=%zu threads=%zu\n",
+              threshold, tolerance, num_queries, engine.num_threads());
+  std::printf("sequential:   %10.2f ms  %10.1f q/s  %zu answers\n",
+              seq.wall_ms, seq.Qps(), seq.answers);
+  std::printf("batched:      %10.2f ms  %10.1f q/s  %zu answers\n",
+              batched.wall_ms, batched.Qps(), batched.answers);
+  std::printf("speedup:      %10.2fx\n",
+              batched.wall_ms > 0 ? seq.wall_ms / batched.wall_ms : 0.0);
+  std::printf("phases (of summed query time): filter %.1f%% | init %.1f%% | "
+              "verify %.1f%% | refine %.1f%%\n",
+              100 * stats.PhaseFraction(&QueryStats::filter_ms),
+              100 * stats.PhaseFraction(&QueryStats::init_ms),
+              100 * stats.PhaseFraction(&QueryStats::verify_ms),
+              100 * stats.PhaseFraction(&QueryStats::refine_ms));
+  for (const EngineStats::StageTotal& st : stats.verifier_stages) {
+    std::printf("verifier %-5s %10.2f ms over %zu runs\n", st.name.c_str(),
+                st.ms, st.runs);
+  }
+  if (seq.answers != batched.answers) {
+    std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n", seq.answers,
+                 batched.answers);
+    return 1;
+  }
+  return 0;
+}
+
 int RunStats(const Dataset& data) {
   if (data.empty()) {
     std::printf("empty dataset\n");
@@ -146,6 +211,19 @@ int main(int argc, char** argv) {
     }
     if (cmd == "stats" && argc == 3) {
       return RunStats(data);
+    }
+    if (cmd == "batch" && argc >= 4 && argc <= 7) {
+      double num_queries = ParseDouble(argv[3]);
+      double threads = argc >= 5 ? ParseDouble(argv[4]) : 0.0;
+      if (num_queries < 1 || threads < 0) {
+        std::fprintf(stderr,
+                     "error: num_queries must be >= 1 and threads >= 0\n");
+        return 2;
+      }
+      double threshold = argc >= 6 ? ParseDouble(argv[5]) : 0.3;
+      double tolerance = argc >= 7 ? ParseDouble(argv[6]) : 0.01;
+      return RunBatch(data, static_cast<size_t>(num_queries),
+                      static_cast<size_t>(threads), threshold, tolerance);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
