@@ -78,6 +78,26 @@ ThroughputPoint TimeEngineBatch(QueryEngine& engine,
   return point;
 }
 
+ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
+                                 const std::vector<double>& points,
+                                 const QueryOptions& options,
+                                 EngineStats* stats) {
+  std::vector<QueryRequest> batch;
+  batch.reserve(points.size());
+  for (double q : points) batch.push_back(QueryRequest::Point(q, options));
+
+  EngineStats local_stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(std::move(batch), &local_stats);
+  ThroughputPoint point;
+  point.threads = engine.num_threads();
+  point.queries = points.size();
+  for (const QueryResult& r : results) point.answers += r.ids.size();
+  point.wall_ms = local_stats.wall_ms;
+  if (stats != nullptr) *stats = std::move(local_stats);
+  return point;
+}
+
 std::vector<size_t> ThreadCountsFromEnv(std::vector<size_t> fallback) {
   const char* v = std::getenv("PVERIFY_THREADS");
   if (v == nullptr) return fallback;

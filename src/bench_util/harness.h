@@ -4,13 +4,16 @@
 #ifndef PVERIFY_BENCH_UTIL_HARNESS_H_
 #define PVERIFY_BENCH_UTIL_HARNESS_H_
 
+#include <future>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
+#include "common/timer.h"
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
+#include "engine/sharded_engine.h"
 
 namespace pverify {
 namespace bench {
@@ -65,6 +68,36 @@ ThroughputPoint TimeEngineBatch(QueryEngine& engine,
                                 const std::vector<double>& points,
                                 const QueryOptions& options,
                                 EngineStats* stats = nullptr);
+
+/// Times one ShardedQueryEngine::ExecuteBatch over the points. `stats`
+/// (optional) receives the gathered batch aggregate.
+ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
+                                 const std::vector<double>& points,
+                                 const QueryOptions& options,
+                                 EngineStats* stats = nullptr);
+
+/// Times an async-submission stream: every point Submit()ed back to back
+/// (no explicit batch), then all futures drained. Measures the coalescing
+/// path end to end. Works for both engines via the template.
+template <typename Engine>
+ThroughputPoint TimeSubmitStream(Engine& engine,
+                                 const std::vector<double>& points,
+                                 const QueryOptions& options) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(points.size());
+  ThroughputPoint point;
+  point.threads = engine.num_threads();
+  point.queries = points.size();
+  Timer wall;
+  for (double q : points) {
+    futures.push_back(engine.Submit(QueryRequest::Point(q, options)));
+  }
+  for (std::future<QueryResult>& f : futures) {
+    point.answers += f.get().ids.size();
+  }
+  point.wall_ms = wall.ElapsedMs();
+  return point;
+}
 
 /// Worker-thread counts to sweep, overridable via PVERIFY_THREADS
 /// (comma-separated list, e.g. "1,2,4,8").

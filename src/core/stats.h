@@ -62,6 +62,9 @@ struct QueryStats {
     total.unknown_after_verification += unknown_after_verification;
     total.refined_candidates += refined_candidates;
     total.subregion_integrations += subregion_integrations;
+    // Folding a per-query stats adds the flag; folding an accumulator (as
+    // EngineStats merging does) adds its running counter.
+    total.queries_finished_after_verify += queries_finished_after_verify;
     if (finished_after_verification) ++total.queries_finished_after_verify;
   }
 

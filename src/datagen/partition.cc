@@ -1,0 +1,69 @@
+#include "datagen/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "spatial/bounds.h"
+
+namespace pverify {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed, deterministic across platforms.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t HashShardingPolicy::ShardOf(const UncertainObject& obj,
+                                   size_t num_shards) const {
+  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
+  return static_cast<size_t>(MixId(static_cast<uint64_t>(obj.id())) %
+                             num_shards);
+}
+
+RangeShardingPolicy::RangeShardingPolicy(double domain_lo, double domain_hi)
+    : domain_lo_(domain_lo), domain_hi_(domain_hi) {
+  PV_CHECK_MSG(domain_lo <= domain_hi, "domain_lo must not exceed domain_hi");
+}
+
+RangeShardingPolicy RangeShardingPolicy::ForDataset(const Dataset& dataset) {
+  DomainBounds b = ComputeDomainBounds(dataset);
+  if (b.empty()) return RangeShardingPolicy(0.0, 0.0);
+  return RangeShardingPolicy(b.lo, b.hi);
+}
+
+size_t RangeShardingPolicy::ShardOf(const UncertainObject& obj,
+                                    size_t num_shards) const {
+  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
+  const double width = domain_hi_ - domain_lo_;
+  if (width <= 0.0) return 0;
+  const double mid = 0.5 * (obj.lo() + obj.hi());
+  double slot = std::floor((mid - domain_lo_) / width *
+                           static_cast<double>(num_shards));
+  if (slot < 0.0) slot = 0.0;
+  const double last = static_cast<double>(num_shards - 1);
+  if (slot > last) slot = last;
+  return static_cast<size_t>(slot);
+}
+
+std::vector<Dataset> PartitionDataset(const Dataset& dataset,
+                                      size_t num_shards,
+                                      const ShardingPolicy& policy) {
+  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
+  std::vector<Dataset> shards(num_shards);
+  for (const UncertainObject& obj : dataset) {
+    const size_t s = policy.ShardOf(obj, num_shards);
+    PV_CHECK_MSG(s < num_shards, "policy returned an out-of-range shard");
+    shards[s].push_back(obj);
+  }
+  return shards;
+}
+
+}  // namespace pverify

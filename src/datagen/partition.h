@@ -1,0 +1,72 @@
+// Dataset partitioning for the sharded query engine.
+//
+// A ShardingPolicy maps each uncertain object to one of N shards;
+// PartitionDataset materializes the per-shard datasets. Two built-in
+// policies cover the two classic layouts: hash sharding (balanced, domain
+// oblivious — every shard sees every query) and range sharding (spatial
+// locality — bounds-based pruning lets most queries skip most shards).
+// Either way the shard datasets are a disjoint cover of the input, which is
+// all the scatter/gather engine needs for exact answers.
+#ifndef PVERIFY_DATAGEN_PARTITION_H_
+#define PVERIFY_DATAGEN_PARTITION_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+
+/// Maps objects to shards. Implementations must be pure functions of the
+/// object (stateless and thread-safe): the engine calls ShardOf concurrently
+/// and relies on the assignment being reproducible.
+class ShardingPolicy {
+ public:
+  virtual ~ShardingPolicy() = default;
+
+  /// Shard index in [0, num_shards) for the object. num_shards >= 1.
+  virtual size_t ShardOf(const UncertainObject& obj,
+                         size_t num_shards) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Hash sharding on the object id (splitmix64 finalizer) — balanced shard
+/// sizes regardless of the id distribution or spatial layout.
+class HashShardingPolicy final : public ShardingPolicy {
+ public:
+  size_t ShardOf(const UncertainObject& obj,
+                 size_t num_shards) const override;
+  std::string_view name() const override { return "hash"; }
+};
+
+/// Range sharding on the interval midpoint over a fixed domain: shard i
+/// covers the i-th of num_shards equal-width slices of [domain_lo,
+/// domain_hi] (midpoints outside the domain clamp to the end shards). Keeps
+/// spatially close objects together, so per-shard bounds prune effectively.
+class RangeShardingPolicy final : public ShardingPolicy {
+ public:
+  RangeShardingPolicy(double domain_lo, double domain_hi);
+
+  /// Policy over the dataset's own domain (degenerate when empty).
+  static RangeShardingPolicy ForDataset(const Dataset& dataset);
+
+  size_t ShardOf(const UncertainObject& obj,
+                 size_t num_shards) const override;
+  std::string_view name() const override { return "range"; }
+
+ private:
+  double domain_lo_;
+  double domain_hi_;
+};
+
+/// Splits the dataset into num_shards disjoint datasets by policy. Shards
+/// preserve the input's relative object order; some may be empty.
+std::vector<Dataset> PartitionDataset(const Dataset& dataset,
+                                      size_t num_shards,
+                                      const ShardingPolicy& policy);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_DATAGEN_PARTITION_H_

@@ -1,8 +1,11 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/check.h"
 #include "common/timer.h"
+#include "engine/submit_queue.h"
 
 namespace pverify {
 
@@ -20,6 +23,31 @@ std::string_view ToString(QueryKind kind) {
       return "candidates";
   }
   return "?";
+}
+
+QueryRequest::QueryRequest(QueryRequest&& other) noexcept
+    : kind(other.kind),
+      q(other.q),
+      k(other.k),
+      options(std::move(other.options)),
+      candidates(std::move(other.candidates)),
+      payload_consumed(other.payload_consumed) {
+  // The payload travels with this request; the source can no longer
+  // produce it, so re-submitting the source is flagged as consumption.
+  other.payload_consumed = true;
+}
+
+QueryRequest& QueryRequest::operator=(QueryRequest&& other) noexcept {
+  if (this != &other) {
+    kind = other.kind;
+    q = other.q;
+    k = other.k;
+    options = std::move(other.options);
+    candidates = std::move(other.candidates);
+    payload_consumed = other.payload_consumed;
+    other.payload_consumed = true;
+  }
+  return *this;
 }
 
 QueryRequest QueryRequest::Point(double q, QueryOptions options) {
@@ -62,16 +90,16 @@ QueryRequest QueryRequest::Candidates(CandidateSet candidates,
   return r;
 }
 
-namespace {
-
-void MoveAnswerInto(QueryAnswer&& answer, QueryResult* result) {
-  result->ids = std::move(answer.ids);
-  result->stats = std::move(answer.stats);
-  result->candidate_probabilities =
+QueryResult ToQueryResult(QueryAnswer&& answer) {
+  QueryResult result;
+  result.ids = std::move(answer.ids);
+  result.stats = std::move(answer.stats);
+  result.candidate_probabilities =
       std::move(answer.candidate_probabilities);
+  return result;
 }
 
-void AccumulateStages(const QueryStats& stats, EngineStats* agg) {
+void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg) {
   for (const StageStats& stage : stats.verification.stages) {
     EngineStats::StageTotal* slot = nullptr;
     for (EngineStats::StageTotal& t : agg->verifier_stages) {
@@ -90,21 +118,59 @@ void AccumulateStages(const QueryStats& stats, EngineStats* agg) {
   }
 }
 
-}  // namespace
+void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg) {
+  ++agg->queries;
+  stats.AccumulateInto(agg->totals);
+  AccumulateVerifierStages(stats, agg);
+}
+
+EngineStats MergeEngineStats(const std::vector<EngineStats>& parts) {
+  EngineStats merged;
+  for (const EngineStats& part : parts) {
+    merged.queries += part.queries;
+    merged.threads = std::max(merged.threads, part.threads);
+    merged.wall_ms = std::max(merged.wall_ms, part.wall_ms);
+    part.totals.AccumulateInto(merged.totals);
+    for (const EngineStats::StageTotal& stage : part.verifier_stages) {
+      EngineStats::StageTotal* slot = nullptr;
+      for (EngineStats::StageTotal& t : merged.verifier_stages) {
+        if (t.name == stage.name) {
+          slot = &t;
+          break;
+        }
+      }
+      if (slot == nullptr) {
+        merged.verifier_stages.push_back(
+            EngineStats::StageTotal{stage.name, 0.0, 0});
+        slot = &merged.verifier_stages.back();
+      }
+      slot->ms += stage.ms;
+      slot->runs += stage.runs;
+    }
+  }
+  return merged;
+}
 
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : executor_(std::move(dataset)),
-      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                     : options.num_threads) {
-  worker_scratches_.reserve(pool_.size());
-  for (size_t i = 0; i < pool_.size(); ++i) {
+      num_threads_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                            : options.num_threads) {
+  worker_scratches_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
     worker_scratches_.push_back(std::make_unique<QueryScratch>());
   }
 }
 
+QueryEngine::~QueryEngine() = default;
+
 QueryResult QueryEngine::Execute(QueryRequest request) {
   std::lock_guard<std::mutex> lock(serial_mu_);
   return ExecuteOne(std::move(request), &serial_scratch_);
+}
+
+ThreadPool& QueryEngine::BatchPool() {
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+  return *pool_;
 }
 
 std::vector<QueryResult> QueryEngine::ExecuteBatch(
@@ -112,21 +178,52 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   std::lock_guard<std::mutex> lock(batch_mu_);
   std::vector<QueryResult> results(requests.size());
   Timer wall;
-  pool_.ParallelFor(requests.size(), [&](size_t worker, size_t index) {
+  BatchPool().ParallelFor(requests.size(), [&](size_t worker, size_t index) {
     results[index] = ExecuteOne(std::move(requests[index]),
                                 worker_scratches_[worker].get());
   });
   if (stats != nullptr) {
     *stats = EngineStats{};
-    stats->queries = results.size();
-    stats->threads = pool_.size();
+    stats->threads = num_threads_;
     stats->wall_ms = wall.ElapsedMs();
     for (const QueryResult& r : results) {
-      r.stats.AccumulateInto(stats->totals);
-      AccumulateStages(r.stats, stats);
+      AccumulateBatchResult(r.stats, stats);
     }
   }
   return results;
+}
+
+SubmitQueue* QueryEngine::EnsureSubmitQueue() {
+  SubmitQueue* queue = submit_queue_ptr_.load(std::memory_order_acquire);
+  if (queue != nullptr) return queue;
+  std::call_once(submit_once_, [this] {
+    submit_queue_ = std::make_unique<SubmitQueue>(
+        [this](std::vector<PendingQuery>& batch) { RunSubmitted(batch); });
+    submit_queue_ptr_.store(submit_queue_.get(), std::memory_order_release);
+  });
+  return submit_queue_ptr_.load(std::memory_order_acquire);
+}
+
+std::future<QueryResult> QueryEngine::Submit(QueryRequest request) {
+  return EnsureSubmitQueue()->Submit(std::move(request));
+}
+
+SubmitQueueStats QueryEngine::SubmitStats() const {
+  SubmitQueue* queue = submit_queue_ptr_.load(std::memory_order_acquire);
+  return queue != nullptr ? queue->GetStats() : SubmitQueueStats{};
+}
+
+void QueryEngine::RunSubmitted(std::vector<PendingQuery>& batch) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  BatchPool().ParallelFor(batch.size(), [&](size_t worker, size_t index) {
+    PendingQuery& item = batch[index];
+    try {
+      item.promise.set_value(ExecuteOne(std::move(item.request),
+                                        worker_scratches_[worker].get()));
+    } catch (...) {
+      item.promise.set_exception(std::current_exception());
+    }
+  });
 }
 
 size_t QueryEngine::ScratchQueriesServed() const {
@@ -148,14 +245,14 @@ QueryResult QueryEngine::ExecuteOne(QueryRequest&& request,
   QueryResult result;
   switch (request.kind) {
     case QueryKind::kPoint:
-      MoveAnswerInto(executor_.Execute(request.q, request.options, scratch),
-                     &result);
+      result = ToQueryResult(
+          executor_.Execute(request.q, request.options, scratch));
       break;
     case QueryKind::kMin:
-      MoveAnswerInto(executor_.ExecuteMin(request.options, scratch), &result);
+      result = ToQueryResult(executor_.ExecuteMin(request.options, scratch));
       break;
     case QueryKind::kMax:
-      MoveAnswerInto(executor_.ExecuteMax(request.options, scratch), &result);
+      result = ToQueryResult(executor_.ExecuteMax(request.options, scratch));
       break;
     case QueryKind::kKnn: {
       Timer t;
@@ -170,9 +267,11 @@ QueryResult QueryEngine::ExecuteOne(QueryRequest&& request,
       break;
     }
     case QueryKind::kCandidates:
-      MoveAnswerInto(ExecuteOnCandidates(std::move(request.candidates),
-                                         request.options, scratch),
-                     &result);
+      // A moved-from kCandidates request carries no payload; evaluating it
+      // would silently answer over an empty set.
+      PV_DCHECK(!request.payload_consumed);
+      result = ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
+                                                 request.options, scratch));
       break;
   }
   return result;

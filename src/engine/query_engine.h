@@ -1,7 +1,7 @@
 // The batched multi-threaded query engine.
 //
 // A QueryEngine owns a CpnnExecutor (dataset + R-tree), a fixed-size worker
-// pool and one QueryScratch per worker. It exposes a unified request/result
+// pool (spawned on first batched use) and one QueryScratch per worker. It exposes a unified request/result
 // API over every query family the library evaluates — point C-PNN, min/max,
 // constrained k-NN, and pre-built candidate sets (the 2-D pipeline's entry
 // point) — and fans request batches across the workers with dynamic load
@@ -9,9 +9,15 @@
 // running the same requests sequentially through CpnnExecutor: workers
 // share nothing but the read-only executor, and each query's arithmetic is
 // unchanged.
+//
+// Besides ExecuteBatch, interactive callers can Submit single requests and
+// get a future back: an internal submission queue coalesces everything
+// in flight into batches for the worker pool (see engine/submit_queue.h).
 #ifndef PVERIFY_ENGINE_QUERY_ENGINE_H_
 #define PVERIFY_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -25,6 +31,8 @@
 
 namespace pverify {
 
+class SubmitQueue;
+
 /// Which query family a request runs.
 enum class QueryKind {
   kPoint,       ///< C-PNN at a query point
@@ -37,6 +45,13 @@ enum class QueryKind {
 std::string_view ToString(QueryKind kind);
 
 /// One query to execute. Build with the factory helpers.
+///
+/// A kCandidates request CONSUMES its payload when it executes: the engine
+/// moves `candidates` out, so the same request cannot be re-submitted.
+/// Moving a QueryRequest transfers the payload and marks the moved-from
+/// source as consumed; re-submitting a consumed kCandidates request fails a
+/// PV_DCHECK in debug builds (release builds evaluate the now-empty set and
+/// return an empty result).
 struct QueryRequest {
   QueryKind kind = QueryKind::kPoint;
   double q = 0.0;  ///< query point (kPoint, kKnn)
@@ -44,6 +59,15 @@ struct QueryRequest {
   QueryOptions options;
   /// Payload for kCandidates; consumed when the request executes.
   CandidateSet candidates;
+  /// Set once the payload has been moved out (meaningful for kCandidates
+  /// only; other kinds remain re-submittable after a move).
+  bool payload_consumed = false;
+
+  QueryRequest() = default;
+  QueryRequest(const QueryRequest&) = default;
+  QueryRequest& operator=(const QueryRequest&) = default;
+  QueryRequest(QueryRequest&& other) noexcept;
+  QueryRequest& operator=(QueryRequest&& other) noexcept;
 
   static QueryRequest Point(double q, QueryOptions options = {});
   static QueryRequest Min(QueryOptions options = {});
@@ -64,6 +88,9 @@ struct QueryResult {
   /// Full k-NN answer; engaged only for kKnn requests.
   std::optional<CknnAnswer> knn;
 };
+
+/// Repackages a core QueryAnswer as an engine QueryResult.
+QueryResult ToQueryResult(QueryAnswer&& answer);
 
 struct EngineOptions {
   /// Worker threads; 0 means hardware concurrency.
@@ -102,15 +129,46 @@ struct EngineStats {
   }
 };
 
+/// Folds one query's stats into an aggregate's verifier stage totals
+/// (matching stages by name, appending in order of first appearance).
+void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg);
+
+/// Folds one query's outcome (phase totals + verifier stages + query count)
+/// into a batch aggregate. wall_ms/threads are left to the caller.
+void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg);
+
+/// Merges per-part aggregates (e.g. one EngineStats per shard) into one:
+/// queries, phase totals and verifier stage totals sum exactly (stages
+/// matched by name, ordered by first appearance across parts); threads and
+/// wall_ms take the max, since parts run concurrently. Merging an empty
+/// vector yields a zero aggregate whose derived rates are all finite.
+EngineStats MergeEngineStats(const std::vector<EngineStats>& parts);
+
+/// One queued async request with the promise its future was minted from
+/// (shared between the engines and the SubmitQueue).
+struct PendingQuery {
+  QueryRequest request;
+  std::promise<QueryResult> promise;
+};
+
+/// Telemetry of an engine's async submission queue.
+struct SubmitQueueStats {
+  size_t requests = 0;       ///< total Submit calls
+  size_t batches = 0;        ///< dispatches to the worker pool
+  size_t max_coalesced = 0;  ///< largest single coalesced batch
+};
+
 /// Serves any number of queries over one dataset, sequentially or batched.
-/// ExecuteBatch is safe to call from one thread at a time; Execute may be
-/// called concurrently with itself (it serializes on an internal scratch).
+/// ExecuteBatch is safe to call from one thread at a time; Execute and
+/// Submit may be called concurrently with everything (they serialize on
+/// internal state).
 class QueryEngine {
  public:
   explicit QueryEngine(Dataset dataset, EngineOptions options = {});
+  ~QueryEngine();
 
   const CpnnExecutor& executor() const { return executor_; }
-  size_t num_threads() const { return pool_.size(); }
+  size_t num_threads() const { return num_threads_; }
 
   /// Executes one request on the calling thread (no pool dispatch).
   QueryResult Execute(QueryRequest request);
@@ -120,6 +178,15 @@ class QueryEngine {
   std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
                                         EngineStats* stats = nullptr);
 
+  /// Non-blocking submission: queues the request and returns a future that
+  /// resolves to the same result Execute would produce. Requests submitted
+  /// while a previous coalesced batch is executing are batched together for
+  /// the worker pool. Thread-safe; serializes with ExecuteBatch.
+  std::future<QueryResult> Submit(QueryRequest request);
+
+  /// Submission-queue telemetry (zeros until the first Submit).
+  SubmitQueueStats SubmitStats() const;
+
   /// Total queries served from the per-worker scratches (telemetry).
   size_t ScratchQueriesServed() const;
   /// Approximate heap footprint of all scratch arenas.
@@ -127,9 +194,17 @@ class QueryEngine {
 
  private:
   QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch) const;
+  void RunSubmitted(std::vector<PendingQuery>& batch);
+  /// Spawns the worker pool on first use. Callers must hold batch_mu_ —
+  /// the pool is only ever driven from the batch paths, so engines that
+  /// never batch (e.g. the sharded engine's per-shard executors) never
+  /// park idle worker threads.
+  ThreadPool& BatchPool();
+  SubmitQueue* EnsureSubmitQueue();
 
   CpnnExecutor executor_;
-  ThreadPool pool_;
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  ///< lazy; guarded by batch_mu_
   std::vector<std::unique_ptr<QueryScratch>> worker_scratches_;
   QueryScratch serial_scratch_;  ///< used by Execute()
   /// Mutable so the const telemetry accessors can exclude in-flight
@@ -137,6 +212,13 @@ class QueryEngine {
   mutable std::mutex serial_mu_;
   /// One batch at a time owns the pool + worker scratches.
   mutable std::mutex batch_mu_;
+  /// Lazily started on first Submit; declared last so it drains (and stops
+  /// using the pool/scratches) before anything above is destroyed.
+  std::once_flag submit_once_;
+  /// Published (release) once submit_queue_ is constructed so SubmitStats
+  /// can read it lock-free from any thread.
+  std::atomic<SubmitQueue*> submit_queue_ptr_{nullptr};
+  std::unique_ptr<SubmitQueue> submit_queue_;
 };
 
 }  // namespace pverify

@@ -1,0 +1,466 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "engine/submit_queue.h"
+#include "spatial/filter.h"
+#include "uncertain/distance_distribution.h"
+
+namespace pverify {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShardedQueryEngine::ShardedQueryEngine(Dataset dataset,
+                                       ShardedEngineOptions options)
+    : policy_(options.policy != nullptr
+                  ? std::move(options.policy)
+                  : std::make_shared<const HashShardingPolicy>()),
+      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                     : options.num_threads) {
+  total_objects_ = dataset.size();
+  const DomainBounds global = ComputeDomainBounds(dataset);
+  if (!global.empty()) {
+    domain_lo_ = global.lo;
+    domain_hi_ = global.hi;
+  }
+  const size_t num_shards = std::max<size_t>(1, options.num_shards);
+  std::vector<Dataset> parts =
+      PartitionDataset(dataset, num_shards, *policy_);
+  shards_.reserve(num_shards);
+  for (Dataset& part : parts) {
+    Shard shard;
+    shard.bounds = ComputeDomainBounds(part);
+    // Shard engines run single-threaded (and never spawn their pool: the
+    // scatter path drives their executors directly) — cross-shard and
+    // cross-request parallelism belongs to this engine's own pool.
+    shard.engine =
+        std::make_unique<QueryEngine>(std::move(part), EngineOptions{1});
+    shards_.push_back(std::move(shard));
+  }
+  worker_scratches_.reserve(pool_.size());
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    worker_scratches_.push_back(std::make_unique<QueryScratch>());
+  }
+}
+
+ShardedQueryEngine::~ShardedQueryEngine() = default;
+
+QueryResult ShardedQueryEngine::Execute(QueryRequest request) {
+  std::lock_guard<std::mutex> lock(serial_mu_);
+  return ExecuteOne(std::move(request), &serial_scratch_,
+                    /*parallel_scatter=*/true, nullptr);
+}
+
+std::vector<QueryResult> ShardedQueryEngine::ExecuteBatch(
+    std::vector<QueryRequest> requests, EngineStats* stats) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return ExecuteBatchLocked(std::move(requests), stats, nullptr);
+}
+
+std::vector<QueryResult> ShardedQueryEngine::ExecuteBatch(
+    std::vector<QueryRequest> requests, ShardedBatchStats* stats) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  return ExecuteBatchLocked(std::move(requests), nullptr, stats);
+}
+
+SubmitQueue* ShardedQueryEngine::EnsureSubmitQueue() {
+  SubmitQueue* queue = submit_queue_ptr_.load(std::memory_order_acquire);
+  if (queue != nullptr) return queue;
+  std::call_once(submit_once_, [this] {
+    submit_queue_ = std::make_unique<SubmitQueue>(
+        [this](std::vector<PendingQuery>& batch) { RunSubmitted(batch); });
+    submit_queue_ptr_.store(submit_queue_.get(), std::memory_order_release);
+  });
+  return submit_queue_ptr_.load(std::memory_order_acquire);
+}
+
+std::future<QueryResult> ShardedQueryEngine::Submit(QueryRequest request) {
+  return EnsureSubmitQueue()->Submit(std::move(request));
+}
+
+SubmitQueueStats ShardedQueryEngine::SubmitStats() const {
+  SubmitQueue* queue = submit_queue_ptr_.load(std::memory_order_acquire);
+  return queue != nullptr ? queue->GetStats() : SubmitQueueStats{};
+}
+
+size_t ShardedQueryEngine::ShardVisits() const {
+  return shard_visits_.load(std::memory_order_relaxed);
+}
+
+size_t ShardedQueryEngine::ShardsPruned() const {
+  return shards_pruned_.load(std::memory_order_relaxed);
+}
+
+void ShardedQueryEngine::RunSubmitted(std::vector<PendingQuery>& batch) {
+  std::lock_guard<std::mutex> lock(batch_mu_);
+  pool_.ParallelFor(batch.size(), [&](size_t worker, size_t index) {
+    PendingQuery& item = batch[index];
+    try {
+      item.promise.set_value(ExecuteOne(std::move(item.request),
+                                        worker_scratches_[worker].get(),
+                                        /*parallel_scatter=*/false, nullptr));
+    } catch (...) {
+      item.promise.set_exception(std::current_exception());
+    }
+  });
+}
+
+std::vector<QueryResult> ShardedQueryEngine::ExecuteBatchLocked(
+    std::vector<QueryRequest>&& requests, EngineStats* gathered,
+    ShardedBatchStats* sharded) {
+  std::vector<QueryResult> results(requests.size());
+  std::vector<ScatterRecord> records;
+  if (sharded != nullptr) records.resize(requests.size());
+  Timer wall;
+  // Requests fan out over the pool; each one scatters over its shards
+  // sequentially (nesting ParallelFor inside a pool worker would deadlock).
+  pool_.ParallelFor(requests.size(), [&](size_t worker, size_t index) {
+    ScatterRecord* record = nullptr;
+    if (sharded != nullptr) {
+      records[index].shards.resize(shards_.size());
+      record = &records[index];
+    }
+    results[index] =
+        ExecuteOne(std::move(requests[index]), worker_scratches_[worker].get(),
+                   /*parallel_scatter=*/false, record);
+  });
+  const double wall_ms = wall.ElapsedMs();
+
+  if (gathered == nullptr && sharded == nullptr) return results;
+  EngineStats agg;
+  agg.threads = pool_.size();
+  agg.wall_ms = wall_ms;
+  for (const QueryResult& r : results) AccumulateBatchResult(r.stats, &agg);
+  if (gathered != nullptr) *gathered = std::move(agg);
+  if (sharded != nullptr) {
+    *sharded = ShardedBatchStats{};
+    sharded->gathered = std::move(agg);
+    sharded->per_shard.assign(shards_.size(), EngineStats{});
+    for (const ScatterRecord& record : records) {
+      sharded->shard_visits += record.visits;
+      sharded->shards_pruned += record.pruned;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        const ShardContrib& contrib = record.shards[s];
+        if (!contrib.visited) continue;
+        EngineStats& ps = sharded->per_shard[s];
+        ++ps.queries;
+        ps.threads = 1;
+        ps.totals.filter_ms += contrib.filter_ms;
+        ps.totals.init_ms += contrib.init_ms;
+        ps.totals.total_ms += contrib.filter_ms + contrib.init_ms;
+        ps.totals.candidates += contrib.candidates;
+        ps.totals.dataset_size +=
+            shards_[s].engine->executor().dataset().size();
+      }
+    }
+    sharded->scatter_totals = MergeEngineStats(sharded->per_shard);
+  }
+  return results;
+}
+
+QueryResult ShardedQueryEngine::ExecuteOne(QueryRequest&& request,
+                                           QueryScratch* scratch,
+                                           bool parallel_scatter,
+                                           ScatterRecord* record) {
+  switch (request.kind) {
+    case QueryKind::kPoint:
+      return ExecutePoint(request.q, request.options, scratch,
+                          parallel_scatter, record);
+    case QueryKind::kMin:
+      // The global domain makes this bit-identical to the unsharded
+      // executor's virtual query point (per-shard domains would not be).
+      return ExecutePoint(domain_lo_ - 1.0, request.options, scratch,
+                          parallel_scatter, record);
+    case QueryKind::kMax:
+      return ExecutePoint(domain_hi_ + 1.0, request.options, scratch,
+                          parallel_scatter, record);
+    case QueryKind::kKnn:
+      return ExecuteKnn(request.q, request.k, request.options,
+                        parallel_scatter, record);
+    case QueryKind::kCandidates:
+      // A moved-from kCandidates request carries no payload; evaluating it
+      // would silently answer over an empty set.
+      PV_DCHECK(!request.payload_consumed);
+      // The payload already is the gathered candidate set — no scatter.
+      return ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
+                                               request.options, scratch));
+  }
+  return QueryResult{};
+}
+
+void ShardedQueryEngine::ForEachIndex(bool parallel, size_t n,
+                                      const std::function<void(size_t)>& fn) {
+  if (parallel && n > 1 && pool_.size() > 1) {
+    pool_.ParallelFor(n, [&fn](size_t, size_t index) { fn(index); });
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+QueryResult ShardedQueryEngine::ExecutePoint(double q,
+                                             const QueryOptions& options,
+                                             QueryScratch* scratch,
+                                             bool parallel_scatter,
+                                             ScatterRecord* record) {
+  Timer total;
+  // Shard pruning, phase 0: U := min over shards of MAXDIST(q, bounds)
+  // upper-bounds the global f_min (each shard's local f_min is at most its
+  // bounds MAXDIST), so a shard whose bounds MINDIST exceeds U can neither
+  // lower f_min nor hold a candidate — skip it before any filtering.
+  double fmin_cap = kInf;
+  for (const Shard& shard : shards_) {
+    if (shard.bounds.empty()) continue;
+    fmin_cap = std::min(fmin_cap, MbrMaxDistToBounds(q, shard.bounds));
+  }
+  std::vector<size_t> eligible;
+  size_t pruned = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].bounds.empty()) continue;
+    if (MbrMinDistToBounds(q, shards_[i].bounds) <=
+        fmin_cap + kFilterBoundarySlack) {
+      eligible.push_back(i);
+    } else {
+      ++pruned;
+    }
+  }
+
+  // Scatter, phase 1: local filtering. The global f_min is the min of the
+  // local ones (each local f_min is an exact min over that shard's
+  // entries, so the min over shards equals the unsharded R-tree's value).
+  std::vector<FilterResult> filtered(eligible.size());
+  std::vector<double> filter_ms(eligible.size(), 0.0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    Timer t;
+    filtered[j] = shards_[eligible[j]].engine->executor().Filter(q);
+    filter_ms[j] = t.ElapsedMs();
+  });
+  double fmin = kInf;
+  for (const FilterResult& fr : filtered) fmin = std::min(fmin, fr.fmin);
+
+  // Scatter, phase 2: shards surviving the now-exact f_min cut build
+  // (id, distance distribution) pairs for their survivors. The per-object
+  // predicate reproduces the unsharded filter's cut bit for bit.
+  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
+      eligible.size());
+  std::vector<double> build_ms(eligible.size(), 0.0);
+  std::vector<char> contributed(eligible.size(), 0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    const Shard& shard = shards_[eligible[j]];
+    if (MbrMinDistToBounds(q, shard.bounds) >
+        fmin + kFilterBoundarySlack) {
+      return;  // counted as pruned below
+    }
+    contributed[j] = 1;
+    Timer t;
+    const Dataset& objects = shard.engine->executor().dataset();
+    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
+    for (uint32_t idx : filtered[j].candidates) {
+      const UncertainObject& obj = objects[idx];
+      if (MakeInterval(obj.lo(), obj.hi()).MinDist({q}) <=
+          fmin + kFilterBoundarySlack) {
+        out.emplace_back(obj.id(),
+                         DistanceDistribution::From1D(obj.pdf(), q));
+      }
+    }
+    build_ms[j] = t.ElapsedMs();
+  });
+
+  // Gather: merge and verify once. FromDistances re-sorts by (near point,
+  // id) — a total order — so the merge order is irrelevant and the set is
+  // identical to the unsharded CandidateSet::Build1D result.
+  size_t visits = 0;
+  size_t total_pairs = 0;
+  for (size_t j = 0; j < eligible.size(); ++j) {
+    if (contributed[j]) {
+      ++visits;
+      total_pairs += parts[j].size();
+    } else {
+      ++pruned;
+    }
+  }
+  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
+  merged.reserve(total_pairs);
+  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
+    for (std::pair<ObjectId, DistanceDistribution>& item : part) {
+      merged.push_back(std::move(item));
+    }
+  }
+  Timer gather_timer;
+  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged));
+  const double gather_ms = gather_timer.ElapsedMs();
+
+  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options,
+                                           scratch);
+  double filter_total = 0.0;
+  for (double ms : filter_ms) filter_total += ms;
+  double build_total = gather_ms;
+  for (double ms : build_ms) build_total += ms;
+  answer.stats.filter_ms = filter_total;
+  answer.stats.init_ms += build_total;
+  answer.stats.dataset_size = total_objects_;
+  answer.stats.total_ms = total.ElapsedMs();
+
+  shard_visits_.fetch_add(visits, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  if (record != nullptr) {
+    record->visits += visits;
+    record->pruned += pruned;
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      ShardContrib& contrib = record->shards[eligible[j]];
+      contrib.visited = true;
+      contrib.filter_ms += filter_ms[j];
+      contrib.init_ms += build_ms[j];
+      contrib.candidates += parts[j].size();
+    }
+  }
+  return ToQueryResult(std::move(answer));
+}
+
+QueryResult ShardedQueryEngine::ExecuteKnn(double q, int k,
+                                           const QueryOptions& options,
+                                           bool parallel_scatter,
+                                           ScatterRecord* record) {
+  PV_CHECK_MSG(k >= 1, "k must be positive");
+  Timer total;
+  const size_t want = static_cast<size_t>(k);
+
+  // Shard pruning, phase 0: walk shards by ascending bounds MAXDIST until
+  // they cover k objects; that MAXDIST upper-bounds the global k-th far
+  // point, so shards whose bounds MINDIST exceeds it hold none of the k
+  // smallest far points and no candidates.
+  std::vector<std::pair<double, size_t>> caps;
+  caps.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].bounds.empty()) continue;
+    caps.emplace_back(IntervalMaxDistToBounds(q, shards_[i].bounds), i);
+  }
+  std::sort(caps.begin(), caps.end());
+  double fk_cap = kInf;
+  size_t covered = 0;
+  for (const std::pair<double, size_t>& cap : caps) {
+    covered += shards_[cap.second].engine->executor().dataset().size();
+    if (covered >= want) {
+      fk_cap = cap.first;
+      break;
+    }
+  }
+  std::vector<size_t> eligible;
+  size_t pruned = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].bounds.empty()) continue;
+    if (IntervalMinDistToBounds(q, shards_[i].bounds) <=
+        fk_cap + kFilterBoundarySlack) {
+      eligible.push_back(i);
+    } else {
+      ++pruned;
+    }
+  }
+
+  // Scatter, phase 1: per-shard k smallest far points. Their merge
+  // contains the k smallest global far points (each lives in its shard's
+  // local top-k), so the k-th order statistic of the merge equals the
+  // unsharded FilterKByScan's value exactly.
+  std::vector<std::vector<double>> far_parts(eligible.size());
+  std::vector<double> filter_ms(eligible.size(), 0.0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    Timer t;
+    far_parts[j] = SmallestFarPoints(
+        shards_[eligible[j]].engine->executor().dataset(), q, want);
+    filter_ms[j] = t.ElapsedMs();
+  });
+  std::vector<double> fars;
+  for (const std::vector<double>& part : far_parts) {
+    fars.insert(fars.end(), part.begin(), part.end());
+  }
+  double fk = 0.0;
+  if (!fars.empty()) {
+    const size_t kth = std::min(total_objects_, want) - 1;
+    std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
+    fk = fars[kth];
+  }
+
+  // Scatter, phase 2: survivors at the exact global k-th far point, with
+  // the same per-object arithmetic FilterKByScan uses.
+  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
+      eligible.size());
+  std::vector<double> build_ms(eligible.size(), 0.0);
+  std::vector<char> contributed(eligible.size(), 0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    const Shard& shard = shards_[eligible[j]];
+    if (fars.empty() || IntervalMinDistToBounds(q, shard.bounds) >
+                            fk + kFilterBoundarySlack) {
+      return;
+    }
+    contributed[j] = 1;
+    Timer t;
+    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
+    for (const UncertainObject& obj : shard.engine->executor().dataset()) {
+      if (obj.MinDist(q) <= fk + kFilterBoundarySlack) {
+        out.emplace_back(obj.id(),
+                         DistanceDistribution::From1D(obj.pdf(), q));
+      }
+    }
+    build_ms[j] = t.ElapsedMs();
+  });
+
+  // Gather: merge, rebuild the (order-normalized) candidate set with the
+  // k-aware pruning rule, and evaluate the constrained k-NN once.
+  size_t visits = 0;
+  size_t total_pairs = 0;
+  for (size_t j = 0; j < eligible.size(); ++j) {
+    if (contributed[j]) {
+      ++visits;
+      total_pairs += parts[j].size();
+    } else {
+      ++pruned;
+    }
+  }
+  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
+  merged.reserve(total_pairs);
+  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
+    for (std::pair<ObjectId, DistanceDistribution>& item : part) {
+      merged.push_back(std::move(item));
+    }
+  }
+  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged), k);
+  CknnAnswer answer =
+      EvaluateCknn(candidates, k, options.params, options.integration);
+
+  QueryResult result;
+  result.stats.total_ms = total.ElapsedMs();
+  double filter_total = 0.0;
+  for (double ms : filter_ms) filter_total += ms;
+  double build_total = 0.0;
+  for (double ms : build_ms) build_total += ms;
+  result.stats.filter_ms = filter_total;
+  result.stats.init_ms = build_total;
+  result.stats.dataset_size = total_objects_;
+  result.stats.candidates = answer.bounds.size();
+  result.ids = answer.ids;
+  result.knn = std::move(answer);
+
+  shard_visits_.fetch_add(visits, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  if (record != nullptr) {
+    record->visits += visits;
+    record->pruned += pruned;
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      ShardContrib& contrib = record->shards[eligible[j]];
+      contrib.visited = true;
+      contrib.filter_ms += filter_ms[j];
+      contrib.init_ms += build_ms[j];
+      contrib.candidates += parts[j].size();
+    }
+  }
+  return result;
+}
+
+}  // namespace pverify

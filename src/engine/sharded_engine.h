@@ -1,0 +1,163 @@
+// The sharded scatter/gather query engine.
+//
+// A ShardedQueryEngine partitions one Dataset across N QueryEngine shards
+// (hash or range on the object domain, pluggable via ShardingPolicy) so
+// filtering and candidate construction scale past one R-tree. Each request
+// is scattered only to the shards that can contribute candidates —
+// per-shard domain bounds prune the rest exactly (see spatial/bounds.h) —
+// and the per-shard answers are gathered back into the same QueryResult
+// shape the unsharded engine produces.
+//
+// Exactness: a PNN qualification probability depends on EVERY candidate
+// jointly (the Π(1 − D_k) term), so shards cannot verify independently.
+// The scatter phase therefore collects each shard's filter survivors and
+// distance distributions; the gather phase merges them into one
+// CandidateSet — whose construction order-normalizes by (near point, id),
+// making the merge order irrelevant — and runs verification/refinement once
+// on the merged set. Answers (ids, probability bounds, k-NN answers) are
+// bit-identical to the unsharded QueryEngine; only timings differ.
+//
+// Like QueryEngine, the sharded engine offers blocking Execute/ExecuteBatch
+// and an async Submit(request) -> future path whose submission queue
+// coalesces in-flight requests into batches for the worker pool.
+#ifndef PVERIFY_ENGINE_SHARDED_ENGINE_H_
+#define PVERIFY_ENGINE_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "datagen/partition.h"
+#include "engine/query_engine.h"
+#include "spatial/bounds.h"
+
+namespace pverify {
+
+struct ShardedEngineOptions {
+  /// Number of shards the dataset is partitioned into (clamped to >= 1).
+  size_t num_shards = 2;
+  /// Object-to-shard assignment; null means hash sharding on object id.
+  std::shared_ptr<const ShardingPolicy> policy;
+  /// Scatter/gather worker threads; 0 means hardware concurrency. Shard
+  /// engines themselves run single-threaded — parallelism lives here.
+  size_t num_threads = 0;
+};
+
+/// Per-batch statistics of the sharded engine.
+struct ShardedBatchStats {
+  /// Aggregate over the batch's final per-request stats — the same
+  /// semantics as the EngineStats QueryEngine::ExecuteBatch fills.
+  EngineStats gathered;
+  /// Scatter-phase contribution of each shard: queries that visited it,
+  /// its filter/candidate-build time and the candidates it contributed.
+  std::vector<EngineStats> per_shard;
+  /// MergeEngineStats(per_shard): the scatter phases summed across shards.
+  EngineStats scatter_totals;
+  size_t shard_visits = 0;   ///< shard scatter executions in this batch
+  size_t shards_pruned = 0;  ///< scatter executions skipped via bounds
+};
+
+/// Serves queries over a dataset partitioned across N QueryEngine shards.
+/// Same concurrency contract as QueryEngine: ExecuteBatch from one thread
+/// at a time; Execute and Submit from anywhere.
+class ShardedQueryEngine {
+ public:
+  explicit ShardedQueryEngine(Dataset dataset,
+                              ShardedEngineOptions options = {});
+  ~ShardedQueryEngine();
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_threads() const { return pool_.size(); }
+  size_t total_objects() const { return total_objects_; }
+  const ShardingPolicy& policy() const { return *policy_; }
+  /// The i-th shard's engine (its dataset is the i-th partition).
+  const QueryEngine& shard(size_t i) const { return *shards_[i].engine; }
+  /// The i-th shard's domain bounds (empty for an empty shard).
+  const DomainBounds& shard_bounds(size_t i) const {
+    return shards_[i].bounds;
+  }
+
+  /// Executes one request, scattering across shards in parallel on the
+  /// worker pool. Results match QueryEngine::Execute bit for bit.
+  QueryResult Execute(QueryRequest request);
+
+  /// Executes a batch: requests fan out across the worker pool, each
+  /// scattering over the shards it needs. Results are in request order.
+  std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
+                                        EngineStats* stats = nullptr);
+  std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
+                                        ShardedBatchStats* stats);
+
+  /// Non-blocking submission with coalescing, as QueryEngine::Submit.
+  std::future<QueryResult> Submit(QueryRequest request);
+  SubmitQueueStats SubmitStats() const;
+
+  /// Lifetime telemetry: scatter executions reaching a shard vs. skipped
+  /// outright by its domain bounds.
+  size_t ShardVisits() const;
+  size_t ShardsPruned() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<QueryEngine> engine;
+    DomainBounds bounds;
+  };
+  /// Per-shard scatter contribution of one request (stats only).
+  struct ShardContrib {
+    double filter_ms = 0.0;
+    double init_ms = 0.0;
+    size_t candidates = 0;
+    bool visited = false;
+  };
+  struct ScatterRecord {
+    std::vector<ShardContrib> shards;  ///< size num_shards when recording
+    size_t visits = 0;                 ///< shards that collected candidates
+    size_t pruned = 0;                 ///< shards skipped via bounds
+  };
+
+  QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch,
+                         bool parallel_scatter, ScatterRecord* record);
+  QueryResult ExecutePoint(double q, const QueryOptions& options,
+                           QueryScratch* scratch, bool parallel_scatter,
+                           ScatterRecord* record);
+  QueryResult ExecuteKnn(double q, int k, const QueryOptions& options,
+                         bool parallel_scatter, ScatterRecord* record);
+  /// Runs fn(i) for i in [0, n), on the pool when parallel.
+  void ForEachIndex(bool parallel, size_t n,
+                    const std::function<void(size_t)>& fn);
+  void RunSubmitted(std::vector<PendingQuery>& batch);
+  SubmitQueue* EnsureSubmitQueue();
+  std::vector<QueryResult> ExecuteBatchLocked(
+      std::vector<QueryRequest>&& requests, EngineStats* gathered,
+      ShardedBatchStats* sharded);
+
+  std::vector<Shard> shards_;
+  std::shared_ptr<const ShardingPolicy> policy_;
+  size_t total_objects_ = 0;
+  /// Global domain endpoints (same accumulation as the unsharded executor,
+  /// so kMin/kMax evaluate at bit-identical virtual query points).
+  double domain_lo_ = 0.0;
+  double domain_hi_ = 0.0;
+
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<QueryScratch>> worker_scratches_;
+  QueryScratch serial_scratch_;  ///< used by Execute()
+  mutable std::mutex serial_mu_;
+  mutable std::mutex batch_mu_;
+
+  std::atomic<size_t> shard_visits_{0};
+  std::atomic<size_t> shards_pruned_{0};
+
+  std::once_flag submit_once_;
+  /// Published (release) once submit_queue_ is constructed so SubmitStats
+  /// can read it lock-free from any thread.
+  std::atomic<SubmitQueue*> submit_queue_ptr_{nullptr};
+  std::unique_ptr<SubmitQueue> submit_queue_;  ///< last: drains first
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_ENGINE_SHARDED_ENGINE_H_

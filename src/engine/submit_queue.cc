@@ -1,0 +1,70 @@
+#include "engine/submit_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace pverify {
+
+SubmitQueue::SubmitQueue(BatchRunner runner) : runner_(std::move(runner)) {
+  PV_CHECK_MSG(runner_ != nullptr, "SubmitQueue requires a batch runner");
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+SubmitQueue::~SubmitQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  dispatcher_.join();
+}
+
+std::future<QueryResult> SubmitQueue::Submit(QueryRequest request) {
+  std::future<QueryResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PV_CHECK_MSG(!stopping_, "Submit after shutdown");
+    pending_.push_back(PendingQuery{std::move(request), {}});
+    future = pending_.back().promise.get_future();
+    ++stats_.requests;
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+SubmitQueueStats SubmitQueue::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void SubmitQueue::DispatcherLoop() {
+  for (;;) {
+    std::vector<PendingQuery> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this] { return stopping_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stopping_ and fully drained
+      batch.swap(pending_);
+      ++stats_.batches;
+      stats_.max_coalesced = std::max(stats_.max_coalesced, batch.size());
+    }
+    try {
+      runner_(batch);
+    } catch (...) {
+      // The runner is expected to fulfill promises itself; if it threw
+      // midway, fail whatever is left so no future sees broken_promise.
+      for (PendingQuery& item : batch) {
+        try {
+          item.promise.set_exception(std::current_exception());
+        } catch (const std::future_error&) {
+          // Already fulfilled before the runner threw.
+        }
+      }
+    }
+  }
+}
+
+}  // namespace pverify

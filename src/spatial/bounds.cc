@@ -1,0 +1,30 @@
+#include "spatial/bounds.h"
+
+#include <algorithm>
+
+namespace pverify {
+
+DomainBounds ComputeDomainBounds(const Dataset& dataset) {
+  DomainBounds b;
+  if (dataset.empty()) return b;
+  b.lo = dataset.front().lo();
+  b.hi = dataset.front().hi();
+  for (const UncertainObject& obj : dataset) {
+    b.lo = std::min(b.lo, obj.lo());
+    b.hi = std::max(b.hi, obj.hi());
+  }
+  return b;
+}
+
+std::vector<double> SmallestFarPoints(const Dataset& dataset, double q,
+                                      size_t k) {
+  std::vector<double> fars;
+  fars.reserve(dataset.size());
+  for (const UncertainObject& obj : dataset) fars.push_back(obj.MaxDist(q));
+  const size_t keep = std::min(k, fars.size());
+  std::partial_sort(fars.begin(), fars.begin() + keep, fars.end());
+  fars.resize(keep);
+  return fars;
+}
+
+}  // namespace pverify

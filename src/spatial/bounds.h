@@ -1,0 +1,78 @@
+// Per-shard domain-bound helpers for scatter/gather query planning.
+//
+// A sharded engine prunes shards with interval arithmetic over each shard's
+// domain bounds (the MBR of its objects' uncertainty intervals). Exactness
+// matters: the sharded path must produce bit-identical answers to the
+// unsharded one, so every bound here is computed with the *same floating
+// point pipeline* as the per-object quantity it prunes against — the
+// Mbr-based (sqrt) forms mirror the R-tree filter's entry metrics, the
+// interval (plain) forms mirror UncertainObject::MinDist/MaxDist. Because
+// an object's interval is contained in its shard's bounds and every
+// operation involved is monotone under rounding, shard-level distances
+// never exceed object-level ones within the same pipeline, which makes the
+// pruning exact rather than merely approximate.
+#ifndef PVERIFY_SPATIAL_BOUNDS_H_
+#define PVERIFY_SPATIAL_BOUNDS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "spatial/mbr.h"
+#include "uncertain/uncertain_object.h"
+
+namespace pverify {
+
+/// 1-D domain bounds of a dataset: the MBR of every uncertainty interval.
+struct DomainBounds {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+
+  bool empty() const { return lo > hi; }
+};
+
+/// Bounds of a dataset, accumulated in dataset order (the same loop shape
+/// CpnnExecutor uses for its domain, so the values agree bitwise).
+DomainBounds ComputeDomainBounds(const Dataset& dataset);
+
+/// MINDIST from q to the bounds, via the Mbr<1> metric (the R-tree filter's
+/// pipeline). Lower-bounds Mbr::MinDist of every contained interval.
+inline double MbrMinDistToBounds(double q, const DomainBounds& b) {
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  return MakeInterval(b.lo, b.hi).MinDist({q});
+}
+
+/// MAXDIST from q to the bounds, via the Mbr<1> metric. Upper-bounds
+/// Mbr::MaxDist of every contained interval.
+inline double MbrMaxDistToBounds(double q, const DomainBounds& b) {
+  if (b.empty()) return -std::numeric_limits<double>::infinity();
+  return MakeInterval(b.lo, b.hi).MaxDist({q});
+}
+
+/// MINDIST from q to the bounds, via the interval arithmetic of
+/// UncertainObject::MinDist. Lower-bounds MinDist of every contained object.
+inline double IntervalMinDistToBounds(double q, const DomainBounds& b) {
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  if (q < b.lo) return b.lo - q;
+  if (q > b.hi) return q - b.hi;
+  return 0.0;
+}
+
+/// MAXDIST from q to the bounds, via the interval arithmetic of
+/// UncertainObject::MaxDist. Upper-bounds MaxDist of every contained object.
+inline double IntervalMaxDistToBounds(double q, const DomainBounds& b) {
+  if (b.empty()) return -std::numeric_limits<double>::infinity();
+  double a = q - b.lo;
+  double c = b.hi - q;
+  return a > c ? a : c;
+}
+
+/// The min(k, |dataset|) smallest far points (UncertainObject::MaxDist) of
+/// the dataset w.r.t. q, ascending. A sharded k-NN filter merges these
+/// per-shard lists to recover the global k-th far point exactly.
+std::vector<double> SmallestFarPoints(const Dataset& dataset, double q,
+                                      size_t k);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_SPATIAL_BOUNDS_H_

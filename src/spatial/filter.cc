@@ -8,10 +8,8 @@
 namespace pverify {
 namespace {
 
-// f_min is a distance to a real object, so tiny numerical slack when
-// comparing MINDIST against it keeps boundary objects (n_i == f_min) in the
-// candidate set, matching the zero-probability-but-unpruned convention.
-constexpr double kBoundarySlack = 1e-12;
+// See kFilterBoundarySlack in the header for the rationale.
+constexpr double kBoundarySlack = kFilterBoundarySlack;
 
 }  // namespace
 

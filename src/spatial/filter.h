@@ -17,6 +17,12 @@
 
 namespace pverify {
 
+/// Numerical slack used when comparing MINDIST against f_min: f_min is a
+/// distance to a real object, so boundary objects (n_i == f_min) stay in the
+/// candidate set, matching the zero-probability-but-unpruned convention.
+/// Exposed so scatter/gather engines can reproduce the filter's cut exactly.
+inline constexpr double kFilterBoundarySlack = 1e-12;
+
 /// Result of the filtering phase.
 struct FilterResult {
   /// f_min: minimum over all objects of MAXDIST(q, object).

@@ -1,5 +1,8 @@
 #include "engine/query_engine.h"
 
+#include <atomic>
+#include <future>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -197,6 +200,148 @@ TEST(QueryEngineTest, InvalidParamsSurfaceFromBatch) {
   std::vector<QueryRequest> batch;
   batch.push_back(QueryRequest::Point(10.0, bad));
   EXPECT_THROW(engine.ExecuteBatch(std::move(batch)), std::logic_error);
+}
+
+TEST(QueryEngineTest, SubmitResolvesToTheSequentialAnswer) {
+  Dataset data = TestDataset(200);
+  CpnnExecutor sequential(data);
+  QueryEngine engine(data, EngineOptions{2});
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+
+  std::vector<double> points = TestQueryPoints(8);
+  std::vector<std::future<QueryResult>> futures;
+  for (double q : points) {
+    futures.push_back(engine.Submit(QueryRequest::Point(q, opt)));
+  }
+  for (size_t i = 0; i < points.size(); ++i) {
+    ExpectIdenticalAnswer(sequential.Execute(points[i], opt),
+                          futures[i].get(), "submit");
+  }
+  SubmitQueueStats stats = engine.SubmitStats();
+  EXPECT_EQ(stats.requests, points.size());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.requests);
+  EXPECT_GE(stats.max_coalesced, 1u);
+
+  // An invalid request resolves its future with the engine's exception
+  // instead of tearing down the queue.
+  QueryOptions bad;
+  bad.params = {0.0, 0.0};
+  std::future<QueryResult> failing =
+      engine.Submit(QueryRequest::Point(1.0, bad));
+  EXPECT_THROW(failing.get(), std::logic_error);
+  // The queue still serves afterwards.
+  std::future<QueryResult> after =
+      engine.Submit(QueryRequest::Point(points[0], opt));
+  ExpectIdenticalAnswer(sequential.Execute(points[0], opt), after.get(),
+                        "submit after failure");
+}
+
+// The async stress test: many threads Submit concurrently while
+// ExecuteBatch runs on the same engine. Every future must resolve to the
+// sequential-reference answer and nothing may deadlock. (Registered under
+// the `engine` CTest label; CI re-runs it under ThreadSanitizer.)
+TEST(QueryEngineTest, ConcurrentSubmitAndExecuteBatchStress) {
+  Dataset data = TestDataset(200);
+  CpnnExecutor sequential(data);
+  QueryEngine engine(data, EngineOptions{4});
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+
+  const std::vector<double> points = TestQueryPoints(8);
+  std::vector<QueryAnswer> expected;
+  for (double q : points) expected.push_back(sequential.Execute(q, opt));
+
+  constexpr size_t kThreads = 6;
+  constexpr size_t kPerThread = 20;
+  std::vector<std::vector<std::future<QueryResult>>> futures(kThreads);
+  std::atomic<bool> go{false};
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      while (!go.load()) std::this_thread::yield();
+      for (size_t i = 0; i < kPerThread; ++i) {
+        futures[t].push_back(engine.Submit(
+            QueryRequest::Point(points[(t + i) % points.size()], opt)));
+      }
+    });
+  }
+  go.store(true);
+  // Batches race the submissions on the same pool and scratches.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<QueryRequest> batch;
+    for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
+    std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
+    ASSERT_EQ(results.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      ExpectIdenticalAnswer(expected[i], results[i], "batch under stress");
+    }
+  }
+  for (std::thread& th : submitters) th.join();
+
+  for (size_t t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(futures[t].size(), kPerThread);
+    for (size_t i = 0; i < kPerThread; ++i) {
+      ExpectIdenticalAnswer(expected[(t + i) % points.size()],
+                            futures[t][i].get(), "submit under stress");
+    }
+  }
+  SubmitQueueStats stats = engine.SubmitStats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_LE(stats.batches, stats.requests);
+}
+
+// Pins the kCandidates consumption contract: executing the request moves
+// the payload out, and a moved-from request cannot be silently
+// re-submitted — debug builds assert, release builds answer over the
+// (empty) leftover set.
+TEST(QueryEngineTest, ConsumedCandidatesRequestCannotBeResubmitted) {
+  Dataset data = TestDataset(100);
+  CpnnExecutor sequential(data);
+  QueryEngine engine(data, EngineOptions{1});
+  QueryOptions opt = OptionsFor(Strategy::kVR);
+  const double q = 50.0;
+
+  FilterResult filtered = sequential.Filter(q);
+  QueryRequest request = QueryRequest::Candidates(
+      CandidateSet::Build1D(data, filtered.candidates, q), opt);
+  EXPECT_FALSE(request.payload_consumed);
+
+  QueryResult first = engine.Execute(std::move(request));
+  EXPECT_GT(first.stats.candidates, 0u);
+  // Moving into Execute marked the caller's request as consumed.
+  EXPECT_TRUE(request.payload_consumed);
+
+#ifndef NDEBUG
+  // Debug builds refuse the re-submission outright.
+  EXPECT_THROW(engine.Execute(std::move(request)), std::logic_error);
+  std::vector<QueryRequest> batch;
+  batch.push_back(std::move(request));
+  EXPECT_THROW(engine.ExecuteBatch(std::move(batch)), std::logic_error);
+#else
+  // Release builds evaluate the leftover (empty) payload.
+  QueryResult again = engine.Execute(std::move(request));
+  EXPECT_TRUE(again.ids.empty());
+  EXPECT_EQ(again.stats.candidates, 0u);
+#endif
+
+  // Copies made before consumption stay valid; consumption marks only the
+  // moved-from source.
+  QueryRequest fresh = QueryRequest::Candidates(
+      CandidateSet::Build1D(data, filtered.candidates, q), opt);
+  QueryRequest copy = fresh;
+  QueryResult from_fresh = engine.Execute(std::move(fresh));
+  EXPECT_TRUE(fresh.payload_consumed);
+  EXPECT_FALSE(copy.payload_consumed);
+  QueryResult from_copy = engine.Execute(std::move(copy));
+  EXPECT_EQ(from_fresh.ids, from_copy.ids);
+
+  // Non-candidates kinds stay re-submittable after a move: the flag only
+  // guards the consumable payload.
+  QueryRequest point = QueryRequest::Point(q, opt);
+  QueryResult p1 = engine.Execute(std::move(point));
+  QueryResult p2 = engine.Execute(std::move(point));
+  EXPECT_EQ(p1.ids, p2.ids);
 }
 
 }  // namespace

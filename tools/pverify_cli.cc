@@ -7,18 +7,27 @@
 //   pverify_cli range <dataset> <lo> <hi> [P]       range probabilities
 //   pverify_cli stats <dataset>                     dataset summary
 //   pverify_cli batch <dataset> <n> [threads] [P]   batched throughput run
+//
+// batch also understands flags (anywhere after the positionals):
+//   --shards=N         scatter/gather across N QueryEngine shards
+//   --policy=hash|range  sharding policy (default hash)
+//   --async            drive the run through Submit() futures (coalesced)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bench_util/harness.h"
 #include "core/query.h"
 #include "core/range_query.h"
 #include "datagen/dataset_io.h"
+#include "datagen/partition.h"
 #include "datagen/workload.h"
 #include "engine/query_engine.h"
+#include "engine/sharded_engine.h"
 
 using namespace pverify;
 
@@ -34,9 +43,17 @@ int Usage() {
       "  pverify_cli range <dataset> <lo> <hi> [P]\n"
       "  pverify_cli stats <dataset>\n"
       "  pverify_cli batch <dataset> <num_queries> [threads] [P] "
-      "[tolerance]\n");
+      "[tolerance]\n"
+      "               [--shards=N] [--policy=hash|range] [--async]\n");
   return 2;
 }
+
+/// Options carried by the batch mode's --flags.
+struct BatchFlags {
+  size_t shards = 0;  ///< 0 = unsharded QueryEngine
+  std::string policy = "hash";
+  bool async = false;
+};
 
 double ParseDouble(const char* s) {
   char* end = nullptr;
@@ -100,9 +117,10 @@ int RunRange(const Dataset& data, double lo, double hi, double threshold) {
 }
 
 // Batched throughput mode: random query points over the dataset's domain,
-// run once as a sequential loop and once through the multi-threaded engine.
+// run once as a sequential loop and once through the multi-threaded engine
+// (unsharded or sharded, blocking batch or async Submit stream).
 int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
-             double threshold, double tolerance) {
+             double threshold, double tolerance, const BatchFlags& flags) {
   if (data.empty()) {
     std::fprintf(stderr, "error: empty dataset\n");
     return 1;
@@ -124,30 +142,68 @@ int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
   CpnnExecutor exec(data);
   bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
 
-  EngineOptions eopt;
-  eopt.num_threads = threads;  // 0 = hardware concurrency
-  QueryEngine engine(data, eopt);
   EngineStats stats;
-  bench::ThroughputPoint batched =
-      bench::TimeEngineBatch(engine, points, opt, &stats);
+  bench::ThroughputPoint batched;
+  size_t engine_threads = 0;
+  SubmitQueueStats submit_stats;
+  if (flags.shards > 0) {
+    ShardedEngineOptions sopt;
+    sopt.num_shards = flags.shards;
+    sopt.num_threads = threads;  // 0 = hardware concurrency
+    if (flags.policy == "range") {
+      sopt.policy = std::make_shared<const RangeShardingPolicy>(
+          RangeShardingPolicy::ForDataset(data));
+    } else if (flags.policy != "hash") {
+      std::fprintf(stderr, "error: unknown policy '%s'\n",
+                   flags.policy.c_str());
+      return 2;
+    }
+    ShardedQueryEngine engine(data, sopt);
+    engine_threads = engine.num_threads();
+    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                          : bench::TimeShardedBatch(engine, points, opt,
+                                                    &stats);
+    submit_stats = engine.SubmitStats();
+    std::printf("# sharded: %zu shards (%s policy), %zu shard visits, "
+                "%zu pruned by bounds\n",
+                engine.num_shards(), engine.policy().name().data(),
+                engine.ShardVisits(), engine.ShardsPruned());
+  } else {
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    QueryEngine engine(data, eopt);
+    engine_threads = engine.num_threads();
+    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                          : bench::TimeEngineBatch(engine, points, opt,
+                                                   &stats);
+    submit_stats = engine.SubmitStats();
+  }
+  if (flags.async) {
+    std::printf("# async: %zu submits coalesced into %zu batches "
+                "(largest %zu)\n",
+                submit_stats.requests, submit_stats.batches,
+                submit_stats.max_coalesced);
+  }
 
   std::printf("# batch P=%g tolerance=%g queries=%zu threads=%zu\n",
-              threshold, tolerance, num_queries, engine.num_threads());
+              threshold, tolerance, num_queries, engine_threads);
   std::printf("sequential:   %10.2f ms  %10.1f q/s  %zu answers\n",
               seq.wall_ms, seq.Qps(), seq.answers);
   std::printf("batched:      %10.2f ms  %10.1f q/s  %zu answers\n",
               batched.wall_ms, batched.Qps(), batched.answers);
   std::printf("speedup:      %10.2fx\n",
               batched.wall_ms > 0 ? seq.wall_ms / batched.wall_ms : 0.0);
-  std::printf("phases (of summed query time): filter %.1f%% | init %.1f%% | "
-              "verify %.1f%% | refine %.1f%%\n",
-              100 * stats.PhaseFraction(&QueryStats::filter_ms),
-              100 * stats.PhaseFraction(&QueryStats::init_ms),
-              100 * stats.PhaseFraction(&QueryStats::verify_ms),
-              100 * stats.PhaseFraction(&QueryStats::refine_ms));
-  for (const EngineStats::StageTotal& st : stats.verifier_stages) {
-    std::printf("verifier %-5s %10.2f ms over %zu runs\n", st.name.c_str(),
-                st.ms, st.runs);
+  if (stats.queries > 0) {  // the async stream reports no batch aggregate
+    std::printf("phases (of summed query time): filter %.1f%% | init %.1f%% "
+                "| verify %.1f%% | refine %.1f%%\n",
+                100 * stats.PhaseFraction(&QueryStats::filter_ms),
+                100 * stats.PhaseFraction(&QueryStats::init_ms),
+                100 * stats.PhaseFraction(&QueryStats::verify_ms),
+                100 * stats.PhaseFraction(&QueryStats::refine_ms));
+    for (const EngineStats::StageTotal& st : stats.verifier_stages) {
+      std::printf("verifier %-5s %10.2f ms over %zu runs\n", st.name.c_str(),
+                  st.ms, st.runs);
+    }
   }
   if (seq.answers != batched.answers) {
     std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n", seq.answers,
@@ -182,8 +238,41 @@ int RunStats(const Dataset& data) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Split --flags (batch mode only) from positional arguments.
+  BatchFlags flags;
+  bool saw_flags = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--", 2) == 0) saw_flags = true;
+    if (std::strncmp(a, "--shards=", 9) == 0) {
+      double n = ParseDouble(a + 9);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --shards must be >= 1\n");
+        return 2;
+      }
+      flags.shards = static_cast<size_t>(n);
+    } else if (std::strncmp(a, "--policy=", 9) == 0) {
+      flags.policy = a + 9;
+    } else if (std::strcmp(a, "--async") == 0) {
+      flags.async = true;
+    } else if (std::strncmp(a, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", a);
+      return 2;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 3) return Usage();
   const std::string cmd = argv[1];
+  if (saw_flags && cmd != "batch") {
+    std::fprintf(stderr,
+                 "error: --shards/--policy/--async apply to batch only\n");
+    return 2;
+  }
   Dataset data;
   try {
     data = datagen::LoadDataset(argv[2]);
@@ -223,7 +312,8 @@ int main(int argc, char** argv) {
       double threshold = argc >= 6 ? ParseDouble(argv[5]) : 0.3;
       double tolerance = argc >= 7 ? ParseDouble(argv[6]) : 0.01;
       return RunBatch(data, static_cast<size_t>(num_queries),
-                      static_cast<size_t>(threads), threshold, tolerance);
+                      static_cast<size_t>(threads), threshold, tolerance,
+                      flags);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
