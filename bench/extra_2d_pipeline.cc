@@ -1,8 +1,13 @@
 // Extra experiment (beyond the paper) — the 2-D extension: strategy costs
 // over 2-D uncertain regions, validating that the verifier savings carry
-// over when distance cdfs come from exact circle/rectangle geometry.
+// over when distance cdfs come from exact circle/rectangle geometry, plus
+// the engine-native kPoint2D path: batched throughput at 1/2/4/8 worker
+// threads against the sequential executor loop, so the 2-D batching win is
+// measurable.
 #include "bench_util/harness.h"
 #include "core/query2d.h"
+#include "datagen/workload.h"
+#include "engine/query_engine.h"
 
 using namespace pverify;
 
@@ -10,16 +15,18 @@ int main() {
   bench::PrintHeader(
       "Extra — 2-D pipeline",
       "Average per-query time (ms) over 2-D uniform regions (circles and\n"
-      "rectangles) for Basic / Refine / VR, Δ=0.01. The paper only sketches\n"
-      "the 2-D extension; this validates the verifiers end to end on it.");
+      "rectangles) for Basic / Refine / VR, Δ=0.01, followed by the\n"
+      "engine-native kPoint2D throughput sweep (scratch-backed batching).\n"
+      "The paper only sketches the 2-D extension; this validates the\n"
+      "verifiers and the engine path end to end on it.");
 
   const size_t queries = bench::QueriesFromEnv(10);
   datagen::Synthetic2DConfig config;
-  config.count = 5000;
+  config.count = bench::DatasetSizeFromEnv(5000);
   config.mean_extent = 40.0;
   config.max_extent = 160.0;
   Dataset2D data = datagen::MakeSynthetic2D(config);
-  CpnnExecutor2D exec(std::move(data));
+  CpnnExecutor2D exec(data);
   Rng rng(71);
   std::vector<Point2> points;
   for (size_t i = 0; i < queries; ++i) {
@@ -39,18 +46,46 @@ int main() {
       opt.params = {P, 0.01};
       opt.strategy = strategies[s];
       opt.integration.gauss_points = 8;
-      for (const Point2& q : points) {
-        QueryAnswer ans = exec.Execute(q, opt);
-        ms[s] += ans.stats.total_ms;
-        if (s == 0) cand += static_cast<double>(ans.stats.candidates);
-      }
-      ms[s] /= static_cast<double>(points.size());
+      datagen::WorkloadResult run = datagen::RunWorkload2D(exec, points, opt);
+      ms[s] = run.AvgTotalMs();
+      if (s == 0) cand = run.AvgCandidates();
     }
     table.AddRow({FormatDouble(P, 1), FormatDouble(ms[0], 3),
                   FormatDouble(ms[1], 3), FormatDouble(ms[2], 3),
-                  FormatDouble(cand / static_cast<double>(points.size()),
-                               1)});
+                  FormatDouble(cand, 1)});
   }
   table.Print();
+
+  // Engine-native 2-D path: one kPoint2D batch per thread count, compared
+  // against the sequential executor loop (the pre-engine behavior).
+  QueryOptions opt;
+  opt.params = {0.4, 0.01};
+  opt.strategy = Strategy::kVR;
+  opt.integration.gauss_points = 8;
+  const std::vector<Point2> workload =
+      datagen::MakeQueryPoints2D(queries * 4, 0.0, 1000.0, /*seed=*/103);
+  bench::ThroughputPoint seq =
+      bench::TimeSequentialLoop(exec, workload, opt);
+
+  ResultTable engine_table({"threads", "wall_ms", "qps", "speedup"},
+                           "extra_2d_engine.csv");
+  engine_table.AddRow({"seq", FormatDouble(seq.wall_ms, 2),
+                       FormatDouble(seq.Qps(), 1), FormatDouble(1.0, 2)});
+  for (size_t threads : bench::ThreadCountsFromEnv({1, 2, 4, 8})) {
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    QueryEngine engine(data, eopt);
+    // Warm-up batch: lets the per-worker scratch arenas reach the
+    // workload's high-water mark before the timed run.
+    bench::TimeEngineBatch(engine, workload, opt);
+    bench::ThroughputPoint point =
+        bench::TimeEngineBatch(engine, workload, opt);
+    engine_table.AddRow(
+        {std::to_string(threads), FormatDouble(point.wall_ms, 2),
+         FormatDouble(point.Qps(), 1),
+         FormatDouble(point.wall_ms > 0 ? seq.wall_ms / point.wall_ms : 0.0,
+                      2)});
+  }
+  engine_table.Print();
   return 0;
 }

@@ -56,16 +56,21 @@ ThroughputPoint TimeSequentialLoop(const CpnnExecutor& executor,
   return point;
 }
 
-ThroughputPoint TimeEngineBatch(QueryEngine& engine,
-                                const std::vector<double>& points,
-                                const QueryOptions& options,
-                                EngineStats* stats) {
+namespace {
+
+// Shared driver behind the batch timers: builds the point requests, runs
+// ExecuteBatch and repackages the engine-reported wall time. The engine
+// already measures the batch wall time; reuse it rather than keeping a
+// second clock that could drift from the reported stats.
+template <typename Engine, typename Point>
+ThroughputPoint TimeBatchImpl(Engine& engine,
+                              const std::vector<Point>& points,
+                              const QueryOptions& options,
+                              EngineStats* stats) {
   std::vector<QueryRequest> batch;
   batch.reserve(points.size());
-  for (double q : points) batch.push_back(QueryRequest::Point(q, options));
+  for (Point q : points) batch.push_back(MakePointRequest(q, options));
 
-  // The engine already measures the batch wall time; reuse it rather than
-  // keeping a second clock that could drift from the reported stats.
   EngineStats local_stats;
   std::vector<QueryResult> results =
       engine.ExecuteBatch(std::move(batch), &local_stats);
@@ -78,24 +83,48 @@ ThroughputPoint TimeEngineBatch(QueryEngine& engine,
   return point;
 }
 
+}  // namespace
+
+ThroughputPoint TimeSequentialLoop(const CpnnExecutor2D& executor,
+                                   const std::vector<Point2>& points,
+                                   const QueryOptions& options) {
+  ThroughputPoint point;
+  point.threads = 0;
+  point.queries = points.size();
+  Timer wall;
+  for (Point2 q : points) {
+    point.answers += executor.Execute(q, options).ids.size();
+  }
+  point.wall_ms = wall.ElapsedMs();
+  return point;
+}
+
+ThroughputPoint TimeEngineBatch(QueryEngine& engine,
+                                const std::vector<double>& points,
+                                const QueryOptions& options,
+                                EngineStats* stats) {
+  return TimeBatchImpl(engine, points, options, stats);
+}
+
+ThroughputPoint TimeEngineBatch(QueryEngine& engine,
+                                const std::vector<Point2>& points,
+                                const QueryOptions& options,
+                                EngineStats* stats) {
+  return TimeBatchImpl(engine, points, options, stats);
+}
+
 ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
                                  const std::vector<double>& points,
                                  const QueryOptions& options,
                                  EngineStats* stats) {
-  std::vector<QueryRequest> batch;
-  batch.reserve(points.size());
-  for (double q : points) batch.push_back(QueryRequest::Point(q, options));
+  return TimeBatchImpl(engine, points, options, stats);
+}
 
-  EngineStats local_stats;
-  std::vector<QueryResult> results =
-      engine.ExecuteBatch(std::move(batch), &local_stats);
-  ThroughputPoint point;
-  point.threads = engine.num_threads();
-  point.queries = points.size();
-  for (const QueryResult& r : results) point.answers += r.ids.size();
-  point.wall_ms = local_stats.wall_ms;
-  if (stats != nullptr) *stats = std::move(local_stats);
-  return point;
+ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
+                                 const std::vector<Point2>& points,
+                                 const QueryOptions& options,
+                                 EngineStats* stats) {
+  return TimeBatchImpl(engine, points, options, stats);
 }
 
 std::vector<size_t> ThreadCountsFromEnv(std::vector<size_t> fallback) {

@@ -62,10 +62,28 @@ ThroughputPoint TimeSequentialLoop(const CpnnExecutor& executor,
                                    const std::vector<double>& points,
                                    const QueryOptions& options);
 
+/// 2-D counterpart: a sequential CpnnExecutor2D::Execute loop.
+ThroughputPoint TimeSequentialLoop(const CpnnExecutor2D& executor,
+                                   const std::vector<Point2>& points,
+                                   const QueryOptions& options);
+
+/// Builds the engine request for a query point of either dimensionality —
+/// lets the workload drivers below stay dimension-agnostic.
+inline QueryRequest MakePointRequest(double q, const QueryOptions& options) {
+  return QueryRequest::Point(q, options);
+}
+inline QueryRequest MakePointRequest(Point2 q, const QueryOptions& options) {
+  return QueryRequest::Point2D(q, options);
+}
+
 /// Times one QueryEngine::ExecuteBatch over the points at the engine's
 /// thread count. `stats` (optional) receives the batch aggregate.
 ThroughputPoint TimeEngineBatch(QueryEngine& engine,
                                 const std::vector<double>& points,
+                                const QueryOptions& options,
+                                EngineStats* stats = nullptr);
+ThroughputPoint TimeEngineBatch(QueryEngine& engine,
+                                const std::vector<Point2>& points,
                                 const QueryOptions& options,
                                 EngineStats* stats = nullptr);
 
@@ -75,13 +93,17 @@ ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
                                  const std::vector<double>& points,
                                  const QueryOptions& options,
                                  EngineStats* stats = nullptr);
+ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
+                                 const std::vector<Point2>& points,
+                                 const QueryOptions& options,
+                                 EngineStats* stats = nullptr);
 
 /// Times an async-submission stream: every point Submit()ed back to back
 /// (no explicit batch), then all futures drained. Measures the coalescing
-/// path end to end. Works for both engines via the template.
-template <typename Engine>
+/// path end to end. Works for both engines and both dimensionalities.
+template <typename Engine, typename Point>
 ThroughputPoint TimeSubmitStream(Engine& engine,
-                                 const std::vector<double>& points,
+                                 const std::vector<Point>& points,
                                  const QueryOptions& options) {
   std::vector<std::future<QueryResult>> futures;
   futures.reserve(points.size());
@@ -89,8 +111,8 @@ ThroughputPoint TimeSubmitStream(Engine& engine,
   point.threads = engine.num_threads();
   point.queries = points.size();
   Timer wall;
-  for (double q : points) {
-    futures.push_back(engine.Submit(QueryRequest::Point(q, options)));
+  for (Point q : points) {
+    futures.push_back(engine.Submit(MakePointRequest(q, options)));
   }
   for (std::future<QueryResult>& f : futures) {
     point.answers += f.get().ids.size();

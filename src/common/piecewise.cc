@@ -10,6 +10,17 @@ namespace pverify {
 StepFunction::StepFunction(std::vector<double> breaks,
                            std::vector<double> values)
     : breaks_(std::move(breaks)), values_(std::move(values)) {
+  ValidateAndBuildCum();
+}
+
+void StepFunction::Assign(const double* breaks, const double* values,
+                          size_t pieces) {
+  breaks_.assign(breaks, breaks + pieces + 1);
+  values_.assign(values, values + pieces);
+  ValidateAndBuildCum();
+}
+
+void StepFunction::ValidateAndBuildCum() {
   PV_CHECK_MSG(breaks_.size() == values_.size() + 1,
                "breaks must have one more entry than values");
   PV_CHECK_MSG(breaks_.size() >= 2, "need at least one piece");

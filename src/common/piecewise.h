@@ -28,6 +28,12 @@ class StepFunction {
   /// increasing, values.size() + 1 == breaks.size(), values non-negative.
   StepFunction(std::vector<double> breaks, std::vector<double> values);
 
+  /// Rebuilds this function in place from raw ranges, reusing the existing
+  /// vectors' capacity: same validation and cumulative-integral arithmetic
+  /// as the constructor, but no allocation once the capacities cover the
+  /// piece count. `breaks` must hold `pieces` + 1 entries.
+  void Assign(const double* breaks, const double* values, size_t pieces);
+
   /// Convenience: single piece of the given height on [lo, hi].
   static StepFunction Constant(double lo, double hi, double height);
 
@@ -68,7 +74,15 @@ class StepFunction {
   /// Index of the piece containing x; requires x within the support.
   size_t PieceIndex(double x) const;
 
+  /// Approximate heap footprint of the owned vectors (capacity, not size).
+  size_t ApproxBytes() const {
+    return (breaks_.capacity() + values_.capacity() + cum_.capacity()) *
+           sizeof(double);
+  }
+
  private:
+  void ValidateAndBuildCum();
+
   std::vector<double> breaks_;  // n+1 breakpoints
   std::vector<double> values_;  // n piece heights
   std::vector<double> cum_;     // n+1 cumulative integrals; cum_[0] == 0

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "uncertain/distance2d.h"
 #include "uncertain/distance_distribution.h"
 #include "uncertain/uncertain_object.h"
 
@@ -20,6 +21,56 @@ struct Candidate {
   Label label = Label::kUnknown;
 };
 
+class CandidateSet;
+
+/// Recycled candidate-construction storage, owned by a QueryScratch: the
+/// CandidateSet items buffer, per-candidate distance-distribution storage
+/// and the work buffers the distribution builders fold into. Construction
+/// borrows the storage and ExecuteOnCandidates returns it, so a steady-state
+/// query stream builds its candidate sets without touching the allocator.
+/// Answers are bit-identical with or without an arena — only where the
+/// buffers live changes, never the arithmetic.
+struct CandidateArena {
+  CandidateArena() = default;
+  CandidateArena(const CandidateArena&) = delete;
+  CandidateArena& operator=(const CandidateArena&) = delete;
+
+  /// Pops the recycled distribution with the most storage (or returns a
+  /// fresh one when the pool is empty). Largest-first pairing lets the
+  /// pool's capacities converge to the workload's high-water mark.
+  DistanceDistribution TakeDistribution();
+
+  /// Returns one distribution's storage to the pool (subject to the demand
+  /// cap, see Recycle).
+  void RecycleDistribution(DistanceDistribution&& dist);
+
+  /// Returns a finished candidate set's storage (items buffer and every
+  /// remaining distribution) to the arena. The distribution pool is capped
+  /// at the largest per-query TakeDistribution demand seen so far, so
+  /// query paths that recycle without arena-backed construction (sharded
+  /// gathers, external kCandidates payloads) do not grow the pool
+  /// unboundedly — their distributions are simply freed.
+  void Recycle(CandidateSet&& set);
+
+  /// Approximate heap footprint of all pooled storage (capacity, not size).
+  size_t ApproxBytes() const;
+
+  /// Recycled items buffer handed to the next CandidateSet construction.
+  std::vector<Candidate> items;
+  /// Recycled per-candidate distribution storage, kept sorted by ascending
+  /// capacity (so TakeDistribution pops the largest in O(1)).
+  std::vector<DistanceDistribution> spare;
+  /// Breakpoint / piece-value work buffers for distribution builds.
+  std::vector<double> work_breaks;
+  std::vector<double> work_values;
+  /// Far-point workspace for the k-aware pruning rule.
+  std::vector<double> work_fars;
+  /// TakeDistribution calls since the last Recycle, and the largest such
+  /// demand ever seen — the pool's size cap.
+  size_t pending_takes = 0;
+  size_t spare_cap = 0;
+};
+
 /// Candidate set C, ordered by ascending near point (the paper's X_1..X_|C|
 /// renaming). Construction computes every member's distance pdf/cdf — the
 /// initialization step of the verification framework (Fig. 5).
@@ -30,13 +81,22 @@ class CandidateSet {
   /// Builds from 1-D objects: computes distance distributions w.r.t. q,
   /// drops objects that provably cannot be among the k nearest neighbors
   /// (near point beyond the k-th smallest far point; k = 1 for a plain
-  /// PNN), and sorts by near point.
+  /// PNN), and sorts by near point. A non-null `arena` lends reusable
+  /// construction storage; the result is bit-identical either way.
   static CandidateSet Build1D(const Dataset& dataset,
                               const std::vector<uint32_t>& candidate_indices,
-                              double q, int k = 1);
+                              double q, int k = 1,
+                              CandidateArena* arena = nullptr);
 
-  /// Builds from pre-computed distance distributions (used by the 2-D path
-  /// and by tests that construct distributions directly).
+  /// Builds from 2-D objects: radial-cdf distance distributions w.r.t. q at
+  /// `radial_pieces` resolution, then the same pruning/ordering as Build1D.
+  static CandidateSet Build2D(const Dataset2D& dataset,
+                              const std::vector<uint32_t>& candidate_indices,
+                              Point2 q, int radial_pieces, int k = 1,
+                              CandidateArena* arena = nullptr);
+
+  /// Builds from pre-computed distance distributions (used by tests and by
+  /// scatter/gather paths that merge per-shard distributions).
   static CandidateSet FromDistances(
       std::vector<std::pair<ObjectId, DistanceDistribution>> dists, int k = 1);
 
@@ -61,7 +121,8 @@ class CandidateSet {
   std::vector<ObjectId> SatisfyingIds() const;
 
  private:
-  void FinishConstruction(int k);
+  void BorrowItemsBuffer(CandidateArena* arena);
+  void FinishConstruction(int k, CandidateArena* arena = nullptr);
 
   std::vector<Candidate> items_;
   double fmin_ = 0.0;

@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "core/classifier.h"
 #include "core/framework.h"
+#include "core/scratch.h"
 
 namespace pverify {
 namespace {
@@ -55,7 +56,11 @@ QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
   options.params.Validate();
   QueryAnswer answer;
   answer.stats.candidates = candidates.size();
-  if (candidates.empty()) return answer;
+  if (candidates.empty()) {
+    // Even an empty set may carry a borrowed items buffer — hand it back.
+    if (scratch != nullptr) scratch->candidates.Recycle(std::move(candidates));
+    return answer;
+  }
   Timer total;
 
   switch (options.strategy) {
@@ -111,6 +116,9 @@ QueryAnswer ExecuteOnCandidates(CandidateSet candidates,
 
   answer.stats.total_ms = total.ElapsedMs();
   FillAnswer(candidates, options, &answer);
+  // The answer is extracted; the candidate storage (items buffer and every
+  // distribution) goes back to the scratch for the next query.
+  if (scratch != nullptr) scratch->candidates.Recycle(std::move(candidates));
   return answer;
 }
 
@@ -146,8 +154,9 @@ QueryAnswer CpnnExecutor::Execute(double q, const QueryOptions& options,
   double filter_ms = t.ElapsedMs();
 
   t.Restart();
-  CandidateSet candidates =
-      CandidateSet::Build1D(dataset_, filtered.candidates, q);
+  CandidateSet candidates = CandidateSet::Build1D(
+      dataset_, filtered.candidates, q, /*k=*/1,
+      scratch != nullptr ? &scratch->candidates : nullptr);
   double build_ms = t.ElapsedMs();
 
   QueryAnswer answer =

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "core/basic.h"
+#include "core/scratch.h"
 
 namespace pverify {
 
@@ -15,25 +16,22 @@ CpnnExecutor2D::CpnnExecutor2D(Dataset2D dataset, int radial_pieces)
   PV_CHECK_MSG(radial_pieces_ >= 4, "radial cdf needs at least 4 pieces");
 }
 
-CandidateSet CpnnExecutor2D::BuildCandidates(Point2 q) const {
+CandidateSet CpnnExecutor2D::BuildCandidates(Point2 q,
+                                             QueryScratch* scratch) const {
   FilterResult filtered = filter_.Filter(q);
-  std::vector<std::pair<ObjectId, DistanceDistribution>> dists;
-  dists.reserve(filtered.candidates.size());
-  for (uint32_t idx : filtered.candidates) {
-    dists.emplace_back(
-        dataset_[idx].id(),
-        MakeDistanceDistribution2D(dataset_[idx], q, radial_pieces_));
-  }
-  return CandidateSet::FromDistances(std::move(dists));
+  return CandidateSet::Build2D(
+      dataset_, filtered.candidates, q, radial_pieces_, /*k=*/1,
+      scratch != nullptr ? &scratch->candidates : nullptr);
 }
 
-QueryAnswer CpnnExecutor2D::Execute(Point2 q,
-                                    const QueryOptions& options) const {
+QueryAnswer CpnnExecutor2D::Execute(Point2 q, const QueryOptions& options,
+                                    QueryScratch* scratch) const {
   Timer total;
   Timer t;
-  CandidateSet candidates = BuildCandidates(q);
+  CandidateSet candidates = BuildCandidates(q, scratch);
   double build_ms = t.ElapsedMs();
-  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options);
+  QueryAnswer answer =
+      ExecuteOnCandidates(std::move(candidates), options, scratch);
   answer.stats.init_ms += build_ms;
   answer.stats.dataset_size = dataset_.size();
   answer.stats.total_ms = total.ElapsedMs();

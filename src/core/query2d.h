@@ -2,6 +2,13 @@
 // concrete. The executor owns a 2-D R-tree for filtering, converts surviving
 // regions into distance distributions via exact geometry, and feeds them to
 // the same verification/refinement machinery as the 1-D case.
+//
+// The stages — filter → distance distributions → verification — are the
+// shared core pipeline (PnnFilter2D, CandidateSet::Build2D,
+// ExecuteOnCandidates), so the engine layer hosts 2-D point requests
+// natively: a QueryEngine routes QueryKind::kPoint2D through this executor
+// with its per-worker QueryScratch, and the scratch's candidate arena makes
+// the per-query distribution allocations disappear.
 #ifndef PVERIFY_CORE_QUERY2D_H_
 #define PVERIFY_CORE_QUERY2D_H_
 
@@ -21,9 +28,13 @@ class CpnnExecutor2D {
   explicit CpnnExecutor2D(Dataset2D dataset, int radial_pieces = 64);
 
   const Dataset2D& dataset() const { return dataset_; }
+  int radial_pieces() const { return radial_pieces_; }
 
-  /// Evaluates a C-PNN at query point q.
-  QueryAnswer Execute(Point2 q, const QueryOptions& options) const;
+  /// Evaluates a C-PNN at query point q. A non-null `scratch` lends
+  /// reusable candidate/verification buffers (see engine/scratch.h);
+  /// answers are bit-identical either way.
+  QueryAnswer Execute(Point2 q, const QueryOptions& options,
+                      QueryScratch* scratch = nullptr) const;
 
   /// Exact qualification probability of every candidate (id, probability).
   std::vector<std::pair<ObjectId, double>> ComputePnn(
@@ -33,7 +44,10 @@ class CpnnExecutor2D {
   FilterResult Filter(Point2 q) const { return filter_.Filter(q); }
 
  private:
-  CandidateSet BuildCandidates(Point2 q) const;
+  /// Filter + distance-distribution stages: the candidate set the
+  /// verification stage runs on.
+  CandidateSet BuildCandidates(Point2 q, QueryScratch* scratch = nullptr)
+      const;
 
   Dataset2D dataset_;
   PnnFilter2D filter_;

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/candidate.h"
 #include "core/subregion.h"
 #include "core/verifier.h"
 
@@ -34,6 +35,12 @@ struct QueryScratch {
 
   /// Subregion table rebuilt in place via SubregionTable::BuildInto.
   SubregionTable table;
+
+  /// Recycled candidate-set construction storage: the items buffer, the
+  /// per-candidate distance-distribution storage (1-D folded pdfs and 2-D
+  /// radial cdfs alike) and the builders' work buffers. Borrowed by
+  /// CandidateSet::Build1D/Build2D and returned by ExecuteOnCandidates.
+  CandidateArena candidates;
 
   /// Verification context whose n×M qlow/qup arrays are re-initialized via
   /// VerificationContext::Reset.

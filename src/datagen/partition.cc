@@ -19,13 +19,21 @@ uint64_t MixId(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+size_t HashShard(ObjectId id, size_t num_shards) {
+  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
+  return static_cast<size_t>(MixId(static_cast<uint64_t>(id)) % num_shards);
+}
+
 }  // namespace
 
 size_t HashShardingPolicy::ShardOf(const UncertainObject& obj,
                                    size_t num_shards) const {
-  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
-  return static_cast<size_t>(MixId(static_cast<uint64_t>(obj.id())) %
-                             num_shards);
+  return HashShard(obj.id(), num_shards);
+}
+
+size_t HashShardingPolicy::ShardOf2D(const UncertainObject2D& obj,
+                                     size_t num_shards) const {
+  return HashShard(obj.id(), num_shards);
 }
 
 RangeShardingPolicy::RangeShardingPolicy(double domain_lo, double domain_hi)
@@ -39,18 +47,34 @@ RangeShardingPolicy RangeShardingPolicy::ForDataset(const Dataset& dataset) {
   return RangeShardingPolicy(b.lo, b.hi);
 }
 
-size_t RangeShardingPolicy::ShardOf(const UncertainObject& obj,
-                                    size_t num_shards) const {
+RangeShardingPolicy RangeShardingPolicy::ForDataset2D(
+    const Dataset2D& dataset) {
+  ShardBounds2D b = ComputeShardBounds2D(dataset);
+  if (b.empty()) return RangeShardingPolicy(0.0, 0.0);
+  return RangeShardingPolicy(b.mbr.lo[0], b.mbr.hi[0]);
+}
+
+size_t RangeShardingPolicy::SlotOf(double mid, size_t num_shards) const {
   PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
   const double width = domain_hi_ - domain_lo_;
   if (width <= 0.0) return 0;
-  const double mid = 0.5 * (obj.lo() + obj.hi());
   double slot = std::floor((mid - domain_lo_) / width *
                            static_cast<double>(num_shards));
   if (slot < 0.0) slot = 0.0;
   const double last = static_cast<double>(num_shards - 1);
   if (slot > last) slot = last;
   return static_cast<size_t>(slot);
+}
+
+size_t RangeShardingPolicy::ShardOf(const UncertainObject& obj,
+                                    size_t num_shards) const {
+  return SlotOf(0.5 * (obj.lo() + obj.hi()), num_shards);
+}
+
+size_t RangeShardingPolicy::ShardOf2D(const UncertainObject2D& obj,
+                                      size_t num_shards) const {
+  const Mbr<2> box = RegionMbr2D(obj);
+  return SlotOf(0.5 * (box.lo[0] + box.hi[0]), num_shards);
 }
 
 std::vector<Dataset> PartitionDataset(const Dataset& dataset,
@@ -60,6 +84,19 @@ std::vector<Dataset> PartitionDataset(const Dataset& dataset,
   std::vector<Dataset> shards(num_shards);
   for (const UncertainObject& obj : dataset) {
     const size_t s = policy.ShardOf(obj, num_shards);
+    PV_CHECK_MSG(s < num_shards, "policy returned an out-of-range shard");
+    shards[s].push_back(obj);
+  }
+  return shards;
+}
+
+std::vector<Dataset2D> PartitionDataset2D(const Dataset2D& dataset,
+                                          size_t num_shards,
+                                          const ShardingPolicy& policy) {
+  PV_CHECK_MSG(num_shards >= 1, "num_shards must be positive");
+  std::vector<Dataset2D> shards(num_shards);
+  for (const UncertainObject2D& obj : dataset) {
+    const size_t s = policy.ShardOf2D(obj, num_shards);
     PV_CHECK_MSG(s < num_shards, "policy returned an out-of-range shard");
     shards[s].push_back(obj);
   }

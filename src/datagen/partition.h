@@ -1,12 +1,13 @@
 // Dataset partitioning for the sharded query engine.
 //
-// A ShardingPolicy maps each uncertain object to one of N shards;
-// PartitionDataset materializes the per-shard datasets. Two built-in
-// policies cover the two classic layouts: hash sharding (balanced, domain
-// oblivious — every shard sees every query) and range sharding (spatial
-// locality — bounds-based pruning lets most queries skip most shards).
-// Either way the shard datasets are a disjoint cover of the input, which is
-// all the scatter/gather engine needs for exact answers.
+// A ShardingPolicy maps each uncertain object — 1-D interval or 2-D region —
+// to one of N shards; PartitionDataset / PartitionDataset2D materialize the
+// per-shard datasets. Two built-in policies cover the two classic layouts:
+// hash sharding (balanced, domain oblivious — every shard sees every query)
+// and range sharding (spatial locality — bounds-based pruning lets most
+// queries skip most shards). Either way the shard datasets are a disjoint
+// cover of the input, which is all the scatter/gather engine needs for
+// exact answers.
 #ifndef PVERIFY_DATAGEN_PARTITION_H_
 #define PVERIFY_DATAGEN_PARTITION_H_
 
@@ -14,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "uncertain/distance2d.h"
 #include "uncertain/uncertain_object.h"
 
 namespace pverify {
@@ -25,26 +27,35 @@ class ShardingPolicy {
  public:
   virtual ~ShardingPolicy() = default;
 
-  /// Shard index in [0, num_shards) for the object. num_shards >= 1.
+  /// Shard index in [0, num_shards) for the 1-D object. num_shards >= 1.
   virtual size_t ShardOf(const UncertainObject& obj,
                          size_t num_shards) const = 0;
+
+  /// Shard index in [0, num_shards) for the 2-D object. num_shards >= 1.
+  virtual size_t ShardOf2D(const UncertainObject2D& obj,
+                           size_t num_shards) const = 0;
 
   virtual std::string_view name() const = 0;
 };
 
 /// Hash sharding on the object id (splitmix64 finalizer) — balanced shard
-/// sizes regardless of the id distribution or spatial layout.
+/// sizes regardless of the id distribution or spatial layout, in any
+/// dimensionality.
 class HashShardingPolicy final : public ShardingPolicy {
  public:
   size_t ShardOf(const UncertainObject& obj,
                  size_t num_shards) const override;
+  size_t ShardOf2D(const UncertainObject2D& obj,
+                   size_t num_shards) const override;
   std::string_view name() const override { return "hash"; }
 };
 
-/// Range sharding on the interval midpoint over a fixed domain: shard i
+/// Range sharding on the region midpoint over a fixed domain: shard i
 /// covers the i-th of num_shards equal-width slices of [domain_lo,
 /// domain_hi] (midpoints outside the domain clamp to the end shards). Keeps
 /// spatially close objects together, so per-shard bounds prune effectively.
+/// 2-D objects are sliced along the x-axis by their bounding-box midpoint —
+/// stripes, the 2-D analogue of interval ranges.
 class RangeShardingPolicy final : public ShardingPolicy {
  public:
   RangeShardingPolicy(double domain_lo, double domain_hi);
@@ -52,11 +63,18 @@ class RangeShardingPolicy final : public ShardingPolicy {
   /// Policy over the dataset's own domain (degenerate when empty).
   static RangeShardingPolicy ForDataset(const Dataset& dataset);
 
+  /// Policy over a 2-D dataset's own x-extent (degenerate when empty).
+  static RangeShardingPolicy ForDataset2D(const Dataset2D& dataset);
+
   size_t ShardOf(const UncertainObject& obj,
                  size_t num_shards) const override;
+  size_t ShardOf2D(const UncertainObject2D& obj,
+                   size_t num_shards) const override;
   std::string_view name() const override { return "range"; }
 
  private:
+  size_t SlotOf(double mid, size_t num_shards) const;
+
   double domain_lo_;
   double domain_hi_;
 };
@@ -66,6 +84,11 @@ class RangeShardingPolicy final : public ShardingPolicy {
 std::vector<Dataset> PartitionDataset(const Dataset& dataset,
                                       size_t num_shards,
                                       const ShardingPolicy& policy);
+
+/// 2-D counterpart of PartitionDataset (dispatches through ShardOf2D).
+std::vector<Dataset2D> PartitionDataset2D(const Dataset2D& dataset,
+                                          size_t num_shards,
+                                          const ShardingPolicy& policy);
 
 }  // namespace pverify
 

@@ -13,6 +13,30 @@ std::vector<double> MakeQueryPoints(size_t count, double lo, double hi,
   return points;
 }
 
+std::vector<Point2> MakeQueryPoints2D(size_t count, double lo, double hi,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2> points(count);
+  for (Point2& p : points) {
+    p.x = rng.Uniform(lo, hi);
+    p.y = rng.Uniform(lo, hi);
+  }
+  return points;
+}
+
+WorkloadResult RunWorkload2D(const CpnnExecutor2D& executor,
+                             const std::vector<Point2>& query_points,
+                             const QueryOptions& options) {
+  WorkloadResult result;
+  for (Point2 q : query_points) {
+    QueryAnswer answer = executor.Execute(q, options);
+    answer.stats.AccumulateInto(result.totals);
+    result.answers += answer.ids.size();
+    ++result.queries;
+  }
+  return result;
+}
+
 WorkloadResult RunWorkload(const CpnnExecutor& executor,
                            const std::vector<double>& query_points,
                            const QueryOptions& options) {

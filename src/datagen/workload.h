@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/query2d.h"
 #include "uncertain/uncertain_object.h"
 
 namespace pverify {
@@ -16,6 +17,11 @@ namespace datagen {
 /// Uniformly random query points over [lo, hi].
 std::vector<double> MakeQueryPoints(size_t count, double lo, double hi,
                                     uint64_t seed = 101);
+
+/// Uniformly random 2-D query points over [lo, hi] × [lo, hi] — the
+/// synthetic 2-D workload generator (pairs with MakeSynthetic2D).
+std::vector<Point2> MakeQueryPoints2D(size_t count, double lo, double hi,
+                                      uint64_t seed = 103);
 
 /// Aggregated outcome of running a workload with one strategy.
 struct WorkloadResult {
@@ -49,6 +55,12 @@ struct WorkloadResult {
 WorkloadResult RunWorkload(const CpnnExecutor& executor,
                            const std::vector<double>& query_points,
                            const QueryOptions& options);
+
+/// Runs every 2-D query point through the executor with the given options
+/// (the 2-D counterpart of RunWorkload).
+WorkloadResult RunWorkload2D(const CpnnExecutor2D& executor,
+                             const std::vector<Point2>& query_points,
+                             const QueryOptions& options);
 
 }  // namespace datagen
 }  // namespace pverify

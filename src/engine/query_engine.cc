@@ -21,6 +21,8 @@ std::string_view ToString(QueryKind kind) {
       return "knn";
     case QueryKind::kCandidates:
       return "candidates";
+    case QueryKind::kPoint2D:
+      return "point2d";
   }
   return "?";
 }
@@ -28,6 +30,7 @@ std::string_view ToString(QueryKind kind) {
 QueryRequest::QueryRequest(QueryRequest&& other) noexcept
     : kind(other.kind),
       q(other.q),
+      q2(other.q2),
       k(other.k),
       options(std::move(other.options)),
       candidates(std::move(other.candidates)),
@@ -41,6 +44,7 @@ QueryRequest& QueryRequest::operator=(QueryRequest&& other) noexcept {
   if (this != &other) {
     kind = other.kind;
     q = other.q;
+    q2 = other.q2;
     k = other.k;
     options = std::move(other.options);
     candidates = std::move(other.candidates);
@@ -54,6 +58,14 @@ QueryRequest QueryRequest::Point(double q, QueryOptions options) {
   QueryRequest r;
   r.kind = QueryKind::kPoint;
   r.q = q;
+  r.options = std::move(options);
+  return r;
+}
+
+QueryRequest QueryRequest::Point2D(pverify::Point2 q, QueryOptions options) {
+  QueryRequest r;
+  r.kind = QueryKind::kPoint2D;
+  r.q2 = q;
   r.options = std::move(options);
   return r;
 }
@@ -159,6 +171,15 @@ QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
   for (size_t i = 0; i < num_threads_; ++i) {
     worker_scratches_.push_back(std::make_unique<QueryScratch>());
   }
+}
+
+QueryEngine::QueryEngine(Dataset2D dataset, EngineOptions options)
+    : QueryEngine(Dataset{}, std::move(dataset), std::move(options)) {}
+
+QueryEngine::QueryEngine(Dataset dataset, Dataset2D dataset2d,
+                         EngineOptions options)
+    : QueryEngine(std::move(dataset), options) {
+  executor2d_.emplace(std::move(dataset2d), options.radial_pieces);
 }
 
 QueryEngine::~QueryEngine() = default;
@@ -272,6 +293,12 @@ QueryResult QueryEngine::ExecuteOne(QueryRequest&& request,
       PV_DCHECK(!request.payload_consumed);
       result = ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
                                                  request.options, scratch));
+      break;
+    case QueryKind::kPoint2D:
+      PV_CHECK_MSG(executor2d_.has_value(),
+                   "kPoint2D request on an engine without a 2-D dataset");
+      result = ToQueryResult(
+          executor2d_->Execute(request.q2, request.options, scratch));
       break;
   }
   return result;

@@ -1,14 +1,15 @@
 // The batched multi-threaded query engine.
 //
-// A QueryEngine owns a CpnnExecutor (dataset + R-tree), a fixed-size worker
-// pool (spawned on first batched use) and one QueryScratch per worker. It exposes a unified request/result
-// API over every query family the library evaluates — point C-PNN, min/max,
-// constrained k-NN, and pre-built candidate sets (the 2-D pipeline's entry
-// point) — and fans request batches across the workers with dynamic load
-// balancing. Results are returned in request order and are bit-identical to
-// running the same requests sequentially through CpnnExecutor: workers
-// share nothing but the read-only executor, and each query's arithmetic is
-// unchanged.
+// A QueryEngine owns a CpnnExecutor (dataset + R-tree) and/or a
+// CpnnExecutor2D (2-D dataset + 2-D R-tree), a fixed-size worker pool
+// (spawned on first batched use) and one QueryScratch per worker. It exposes
+// a unified request/result API over every query family the library
+// evaluates — point C-PNN (1-D and native 2-D), min/max, constrained k-NN,
+// and pre-built candidate sets — and fans request batches across the
+// workers with dynamic load balancing. Results are returned in request
+// order and are bit-identical to running the same requests sequentially
+// through the executors: workers share nothing but the read-only executors,
+// and each query's arithmetic is unchanged.
 //
 // Besides ExecuteBatch, interactive callers can Submit single requests and
 // get a future back: an internal submission queue coalesces everything
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/query2d.h"
 #include "engine/scratch.h"
 #include "engine/thread_pool.h"
 
@@ -35,11 +37,12 @@ class SubmitQueue;
 
 /// Which query family a request runs.
 enum class QueryKind {
-  kPoint,       ///< C-PNN at a query point
+  kPoint,       ///< C-PNN at a 1-D query point
   kMin,         ///< minimum query (PNN with q = −∞)
   kMax,         ///< maximum query (PNN with q = +∞)
   kKnn,         ///< constrained probabilistic k-NN
-  kCandidates,  ///< C-PNN over a pre-built candidate set (2-D pipeline)
+  kCandidates,  ///< C-PNN over a pre-built candidate set
+  kPoint2D,     ///< C-PNN at a 2-D query point (needs a 2-D dataset)
 };
 
 std::string_view ToString(QueryKind kind);
@@ -55,6 +58,7 @@ std::string_view ToString(QueryKind kind);
 struct QueryRequest {
   QueryKind kind = QueryKind::kPoint;
   double q = 0.0;  ///< query point (kPoint, kKnn)
+  Point2 q2;       ///< query point (kPoint2D)
   int k = 2;       ///< neighbor count (kKnn)
   QueryOptions options;
   /// Payload for kCandidates; consumed when the request executes.
@@ -70,6 +74,7 @@ struct QueryRequest {
   QueryRequest& operator=(QueryRequest&& other) noexcept;
 
   static QueryRequest Point(double q, QueryOptions options = {});
+  static QueryRequest Point2D(pverify::Point2 q, QueryOptions options = {});
   static QueryRequest Min(QueryOptions options = {});
   static QueryRequest Max(QueryOptions options = {});
   static QueryRequest Knn(double q, int k, QueryOptions options = {});
@@ -95,6 +100,8 @@ QueryResult ToQueryResult(QueryAnswer&& answer);
 struct EngineOptions {
   /// Worker threads; 0 means hardware concurrency.
   size_t num_threads = 0;
+  /// Radial-cdf resolution of the 2-D executor (kPoint2D requests).
+  int radial_pieces = 64;
 };
 
 /// Aggregate outcome of one ExecuteBatch call.
@@ -165,9 +172,18 @@ struct SubmitQueueStats {
 class QueryEngine {
  public:
   explicit QueryEngine(Dataset dataset, EngineOptions options = {});
+  /// 2-D-only engine: serves kPoint2D (and kCandidates) requests.
+  explicit QueryEngine(Dataset2D dataset, EngineOptions options = {});
+  /// Dual-mode engine: one engine serving both workload shapes.
+  QueryEngine(Dataset dataset, Dataset2D dataset2d,
+              EngineOptions options = {});
   ~QueryEngine();
 
   const CpnnExecutor& executor() const { return executor_; }
+  /// The 2-D executor, or nullptr when the engine has no 2-D dataset.
+  const CpnnExecutor2D* executor2d() const {
+    return executor2d_.has_value() ? &*executor2d_ : nullptr;
+  }
   size_t num_threads() const { return num_threads_; }
 
   /// Executes one request on the calling thread (no pool dispatch).
@@ -203,6 +219,8 @@ class QueryEngine {
   SubmitQueue* EnsureSubmitQueue();
 
   CpnnExecutor executor_;
+  /// Engaged when the engine owns a 2-D dataset (kPoint2D requests).
+  std::optional<CpnnExecutor2D> executor2d_;
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazy; guarded by batch_mu_
   std::vector<std::unique_ptr<QueryScratch>> worker_scratches_;

@@ -20,12 +20,31 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 ShardedQueryEngine::ShardedQueryEngine(Dataset dataset,
                                        ShardedEngineOptions options)
+    : ShardedQueryEngine(std::move(dataset), Dataset2D{}, std::move(options),
+                         /*serve_2d=*/false) {}
+
+ShardedQueryEngine::ShardedQueryEngine(Dataset2D dataset,
+                                       ShardedEngineOptions options)
+    : ShardedQueryEngine(Dataset{}, std::move(dataset), std::move(options),
+                         /*serve_2d=*/true) {}
+
+ShardedQueryEngine::ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
+                                       ShardedEngineOptions options)
+    : ShardedQueryEngine(std::move(dataset), std::move(dataset2d),
+                         std::move(options), /*serve_2d=*/true) {}
+
+ShardedQueryEngine::ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
+                                       ShardedEngineOptions options,
+                                       bool serve_2d)
     : policy_(options.policy != nullptr
                   ? std::move(options.policy)
                   : std::make_shared<const HashShardingPolicy>()),
       pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
                                      : options.num_threads) {
   total_objects_ = dataset.size();
+  total_objects2d_ = dataset2d.size();
+  has_2d_ = serve_2d;
+  radial_pieces_ = options.radial_pieces;
   const DomainBounds global = ComputeDomainBounds(dataset);
   if (!global.empty()) {
     domain_lo_ = global.lo;
@@ -34,15 +53,24 @@ ShardedQueryEngine::ShardedQueryEngine(Dataset dataset,
   const size_t num_shards = std::max<size_t>(1, options.num_shards);
   std::vector<Dataset> parts =
       PartitionDataset(dataset, num_shards, *policy_);
+  std::vector<Dataset2D> parts2d =
+      PartitionDataset2D(dataset2d, num_shards, *policy_);
   shards_.reserve(num_shards);
-  for (Dataset& part : parts) {
+  for (size_t s = 0; s < num_shards; ++s) {
     Shard shard;
-    shard.bounds = ComputeDomainBounds(part);
+    shard.bounds = ComputeDomainBounds(parts[s]);
+    shard.bounds2d = ComputeShardBounds2D(parts2d[s]);
     // Shard engines run single-threaded (and never spawn their pool: the
     // scatter path drives their executors directly) — cross-shard and
     // cross-request parallelism belongs to this engine's own pool.
-    shard.engine =
-        std::make_unique<QueryEngine>(std::move(part), EngineOptions{1});
+    EngineOptions eopt;
+    eopt.num_threads = 1;
+    eopt.radial_pieces = options.radial_pieces;
+    shard.engine = has_2d_
+                       ? std::make_unique<QueryEngine>(
+                             std::move(parts[s]), std::move(parts2d[s]), eopt)
+                       : std::make_unique<QueryEngine>(std::move(parts[s]),
+                                                       eopt);
     shards_.push_back(std::move(shard));
   }
   worker_scratches_.reserve(pool_.size());
@@ -97,6 +125,20 @@ size_t ShardedQueryEngine::ShardVisits() const {
 
 size_t ShardedQueryEngine::ShardsPruned() const {
   return shards_pruned_.load(std::memory_order_relaxed);
+}
+
+size_t ShardedQueryEngine::ScratchQueriesServed() const {
+  std::scoped_lock lock(serial_mu_, batch_mu_);
+  size_t total = serial_scratch_.queries_served;
+  for (const auto& s : worker_scratches_) total += s->queries_served;
+  return total;
+}
+
+size_t ShardedQueryEngine::ScratchBytes() const {
+  std::scoped_lock lock(serial_mu_, batch_mu_);
+  size_t total = serial_scratch_.ApproxBytes();
+  for (const auto& s : worker_scratches_) total += s->ApproxBytes();
+  return total;
 }
 
 void ShardedQueryEngine::RunSubmitted(std::vector<PendingQuery>& batch) {
@@ -192,6 +234,11 @@ QueryResult ShardedQueryEngine::ExecuteOne(QueryRequest&& request,
       // The payload already is the gathered candidate set — no scatter.
       return ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
                                                request.options, scratch));
+    case QueryKind::kPoint2D:
+      PV_CHECK_MSG(has_2d_,
+                   "kPoint2D request on an engine without a 2-D dataset");
+      return ExecutePoint2D(request.q2, request.options, scratch,
+                            parallel_scatter, record);
   }
   return QueryResult{};
 }
@@ -306,6 +353,128 @@ QueryResult ShardedQueryEngine::ExecutePoint(double q,
   answer.stats.filter_ms = filter_total;
   answer.stats.init_ms += build_total;
   answer.stats.dataset_size = total_objects_;
+  answer.stats.total_ms = total.ElapsedMs();
+
+  shard_visits_.fetch_add(visits, std::memory_order_relaxed);
+  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  if (record != nullptr) {
+    record->visits += visits;
+    record->pruned += pruned;
+    for (size_t j = 0; j < eligible.size(); ++j) {
+      ShardContrib& contrib = record->shards[eligible[j]];
+      contrib.visited = true;
+      contrib.filter_ms += filter_ms[j];
+      contrib.init_ms += build_ms[j];
+      contrib.candidates += parts[j].size();
+    }
+  }
+  return ToQueryResult(std::move(answer));
+}
+
+QueryResult ShardedQueryEngine::ExecutePoint2D(Point2 q,
+                                               const QueryOptions& options,
+                                               QueryScratch* scratch,
+                                               bool parallel_scatter,
+                                               ScatterRecord* record) {
+  Timer total;
+  // Shard pruning, phase 0: U := min over shards of MAXDIST(q, Mbr) upper-
+  // bounds the global f_min (each shard's local f_min is at most its Mbr
+  // MAXDIST, since every region sits inside the shard Mbr), so a shard
+  // whose Mbr MINDIST exceeds U can neither lower f_min nor hold a
+  // candidate — skip it before any filtering.
+  double fmin_cap = kInf;
+  for (const Shard& shard : shards_) {
+    if (shard.bounds2d.empty()) continue;
+    fmin_cap = std::min(fmin_cap, MbrMaxDistToBounds2D(q, shard.bounds2d));
+  }
+  std::vector<size_t> eligible;
+  size_t pruned = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].bounds2d.empty()) continue;
+    if (MbrMinDistToBounds2D(q, shards_[i].bounds2d) <=
+        fmin_cap + kFilterBoundarySlack) {
+      eligible.push_back(i);
+    } else {
+      ++pruned;
+    }
+  }
+
+  // Scatter, phase 1: local 2-D filtering. Each local f_min is the exact
+  // minimum of MaxDist over the shard's regions (PnnFilter2D refines its
+  // MBR bound with exact region distances), so the min over shards equals
+  // the unsharded filter's f_min bit for bit.
+  std::vector<FilterResult> filtered(eligible.size());
+  std::vector<double> filter_ms(eligible.size(), 0.0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    Timer t;
+    filtered[j] =
+        shards_[eligible[j]].engine->executor2d()->Filter(q);
+    filter_ms[j] = t.ElapsedMs();
+  });
+  double fmin = kInf;
+  for (const FilterResult& fr : filtered) fmin = std::min(fmin, fr.fmin);
+
+  // Scatter, phase 2: shards surviving the now-exact f_min cut build
+  // (id, radial-cdf distance distribution) pairs for their survivors. The
+  // per-object predicate and the distribution arithmetic reproduce the
+  // unsharded 2-D pipeline exactly.
+  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
+      eligible.size());
+  std::vector<double> build_ms(eligible.size(), 0.0);
+  std::vector<char> contributed(eligible.size(), 0);
+  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
+    const Shard& shard = shards_[eligible[j]];
+    if (MbrMinDistToBounds2D(q, shard.bounds2d) >
+        fmin + kFilterBoundarySlack) {
+      return;  // counted as pruned below
+    }
+    contributed[j] = 1;
+    Timer t;
+    const Dataset2D& objects = shard.engine->executor2d()->dataset();
+    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
+    for (uint32_t idx : filtered[j].candidates) {
+      const UncertainObject2D& obj = objects[idx];
+      if (obj.MinDist(q) <= fmin + kFilterBoundarySlack) {
+        out.emplace_back(obj.id(),
+                         MakeDistanceDistribution2D(obj, q, radial_pieces_));
+      }
+    }
+    build_ms[j] = t.ElapsedMs();
+  });
+
+  // Gather: merge and verify once. FromDistances re-sorts by (near point,
+  // id) — a total order — so the merge order is irrelevant and the set is
+  // identical to the unsharded CandidateSet::Build2D result.
+  size_t visits = 0;
+  size_t total_pairs = 0;
+  for (size_t j = 0; j < eligible.size(); ++j) {
+    if (contributed[j]) {
+      ++visits;
+      total_pairs += parts[j].size();
+    } else {
+      ++pruned;
+    }
+  }
+  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
+  merged.reserve(total_pairs);
+  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
+    for (std::pair<ObjectId, DistanceDistribution>& item : part) {
+      merged.push_back(std::move(item));
+    }
+  }
+  Timer gather_timer;
+  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged));
+  const double gather_ms = gather_timer.ElapsedMs();
+
+  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options,
+                                           scratch);
+  double filter_total = 0.0;
+  for (double ms : filter_ms) filter_total += ms;
+  double build_total = gather_ms;
+  for (double ms : build_ms) build_total += ms;
+  answer.stats.filter_ms = filter_total;
+  answer.stats.init_ms += build_total;
+  answer.stats.dataset_size = total_objects2d_;
   answer.stats.total_ms = total.ElapsedMs();
 
   shard_visits_.fetch_add(visits, std::memory_order_relaxed);

@@ -1,12 +1,14 @@
 // The sharded scatter/gather query engine.
 //
-// A ShardedQueryEngine partitions one Dataset across N QueryEngine shards
-// (hash or range on the object domain, pluggable via ShardingPolicy) so
-// filtering and candidate construction scale past one R-tree. Each request
-// is scattered only to the shards that can contribute candidates —
-// per-shard domain bounds prune the rest exactly (see spatial/bounds.h) —
-// and the per-shard answers are gathered back into the same QueryResult
-// shape the unsharded engine produces.
+// A ShardedQueryEngine partitions one Dataset (1-D intervals, 2-D regions,
+// or both) across N QueryEngine shards (hash or range on the object domain,
+// pluggable via ShardingPolicy) so filtering and candidate construction
+// scale past one R-tree. Each request is scattered only to the shards that
+// can contribute candidates — per-shard domain bounds prune the rest
+// exactly: 1-D interval bounds for kPoint/kMin/kMax/kKnn, 2-D Mbr bounds
+// for kPoint2D (see spatial/bounds.h) — and the per-shard answers are
+// gathered back into the same QueryResult shape the unsharded engine
+// produces.
 //
 // Exactness: a PNN qualification probability depends on EVERY candidate
 // jointly (the Π(1 − D_k) term), so shards cannot verify independently.
@@ -44,6 +46,8 @@ struct ShardedEngineOptions {
   /// Scatter/gather worker threads; 0 means hardware concurrency. Shard
   /// engines themselves run single-threaded — parallelism lives here.
   size_t num_threads = 0;
+  /// Radial-cdf resolution of the 2-D pipeline (kPoint2D requests).
+  int radial_pieces = 64;
 };
 
 /// Per-batch statistics of the sharded engine.
@@ -67,6 +71,13 @@ class ShardedQueryEngine {
  public:
   explicit ShardedQueryEngine(Dataset dataset,
                               ShardedEngineOptions options = {});
+  /// 2-D engine: partitions a Dataset2D via ShardingPolicy::ShardOf2D and
+  /// serves kPoint2D requests with Mbr-based shard pruning.
+  explicit ShardedQueryEngine(Dataset2D dataset,
+                              ShardedEngineOptions options = {});
+  /// Dual-mode engine: both datasets partitioned by the same policy.
+  ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
+                     ShardedEngineOptions options = {});
   ~ShardedQueryEngine();
 
   size_t num_shards() const { return shards_.size(); }
@@ -78,6 +89,11 @@ class ShardedQueryEngine {
   /// The i-th shard's domain bounds (empty for an empty shard).
   const DomainBounds& shard_bounds(size_t i) const {
     return shards_[i].bounds;
+  }
+  /// The i-th shard's 2-D domain bounds (empty for an empty shard or a
+  /// 1-D-only engine).
+  const ShardBounds2D& shard_bounds2d(size_t i) const {
+    return shards_[i].bounds2d;
   }
 
   /// Executes one request, scattering across shards in parallel on the
@@ -100,10 +116,16 @@ class ShardedQueryEngine {
   size_t ShardVisits() const;
   size_t ShardsPruned() const;
 
+  /// Total queries served from the gather-side scratches (telemetry).
+  size_t ScratchQueriesServed() const;
+  /// Approximate heap footprint of all gather-side scratch arenas.
+  size_t ScratchBytes() const;
+
  private:
   struct Shard {
     std::unique_ptr<QueryEngine> engine;
     DomainBounds bounds;
+    ShardBounds2D bounds2d;
   };
   /// Per-shard scatter contribution of one request (stats only).
   struct ShardContrib {
@@ -118,11 +140,21 @@ class ShardedQueryEngine {
     size_t pruned = 0;                 ///< shards skipped via bounds
   };
 
+  /// Shared constructor body; `serve_2d` distinguishes "no 2-D dataset"
+  /// (kPoint2D throws, like the 1-D-only QueryEngine) from "2-D dataset
+  /// that happens to be empty" (kPoint2D answers empty, like the unsharded
+  /// 2-D engine).
+  ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
+                     ShardedEngineOptions options, bool serve_2d);
+
   QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch,
                          bool parallel_scatter, ScatterRecord* record);
   QueryResult ExecutePoint(double q, const QueryOptions& options,
                            QueryScratch* scratch, bool parallel_scatter,
                            ScatterRecord* record);
+  QueryResult ExecutePoint2D(Point2 q, const QueryOptions& options,
+                             QueryScratch* scratch, bool parallel_scatter,
+                             ScatterRecord* record);
   QueryResult ExecuteKnn(double q, int k, const QueryOptions& options,
                          bool parallel_scatter, ScatterRecord* record);
   /// Runs fn(i) for i in [0, n), on the pool when parallel.
@@ -137,6 +169,9 @@ class ShardedQueryEngine {
   std::vector<Shard> shards_;
   std::shared_ptr<const ShardingPolicy> policy_;
   size_t total_objects_ = 0;
+  size_t total_objects2d_ = 0;
+  bool has_2d_ = false;
+  int radial_pieces_ = 64;
   /// Global domain endpoints (same accumulation as the unsharded executor,
   /// so kMin/kMax evaluate at bit-identical virtual query points).
   double domain_lo_ = 0.0;

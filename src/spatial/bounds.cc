@@ -16,6 +16,23 @@ DomainBounds ComputeDomainBounds(const Dataset& dataset) {
   return b;
 }
 
+Mbr<2> RegionMbr2D(const UncertainObject2D& obj) {
+  if (obj.is_rect()) {
+    const Rect2& r = obj.rect();
+    return MakeBox(r.x1, r.y1, r.x2, r.y2);
+  }
+  const Circle2& c = obj.circle();
+  return MakeBox(c.cx - c.r, c.cy - c.r, c.cx + c.r, c.cy + c.r);
+}
+
+ShardBounds2D ComputeShardBounds2D(const Dataset2D& dataset) {
+  ShardBounds2D b;
+  for (const UncertainObject2D& obj : dataset) {
+    b.mbr.Expand(RegionMbr2D(obj));
+  }
+  return b;
+}
+
 std::vector<double> SmallestFarPoints(const Dataset& dataset, double q,
                                       size_t k) {
   std::vector<double> fars;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "spatial/mbr.h"
+#include "uncertain/distance2d.h"
 #include "uncertain/uncertain_object.h"
 
 namespace pverify {
@@ -72,6 +73,38 @@ inline double IntervalMaxDistToBounds(double q, const DomainBounds& b) {
 /// per-shard lists to recover the global k-th far point exactly.
 std::vector<double> SmallestFarPoints(const Dataset& dataset, double q,
                                       size_t k);
+
+/// Bounding box of a 2-D uncertainty region — the exact boxes the 2-D
+/// R-tree indexes (rectangle as-is, disk as center ± radius), so shard
+/// bounds accumulate through the same geometry as the filter.
+Mbr<2> RegionMbr2D(const UncertainObject2D& obj);
+
+/// 2-D domain bounds of a shard: the MBR of every region's bounding box.
+/// The Mbr<2> MINDIST/MAXDIST metrics sandwich every contained object's
+/// exact MinDist/MaxDist (the box contains the region and the shard MBR
+/// contains the box), which is what makes 2-D shard pruning safe.
+struct ShardBounds2D {
+  Mbr<2> mbr = Mbr<2>::Empty();
+
+  bool empty() const { return mbr.IsEmpty(); }
+};
+
+/// Bounds of a 2-D dataset, accumulated in dataset order.
+ShardBounds2D ComputeShardBounds2D(const Dataset2D& dataset);
+
+/// MINDIST from q to the bounds via the Mbr<2> metric (the 2-D R-tree
+/// pipeline). Lower-bounds MinDist of every contained region.
+inline double MbrMinDistToBounds2D(Point2 q, const ShardBounds2D& b) {
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  return b.mbr.MinDist({q.x, q.y});
+}
+
+/// MAXDIST from q to the bounds via the Mbr<2> metric. Upper-bounds
+/// MaxDist of every contained region.
+inline double MbrMaxDistToBounds2D(Point2 q, const ShardBounds2D& b) {
+  if (b.empty()) return -std::numeric_limits<double>::infinity();
+  return b.mbr.MaxDist({q.x, q.y});
+}
 
 }  // namespace pverify
 

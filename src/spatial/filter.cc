@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/check.h"
+#include "spatial/bounds.h"
 
 namespace pverify {
 namespace {
@@ -37,16 +38,7 @@ PnnFilter2D::PnnFilter2D(const Dataset2D& dataset) : dataset_(&dataset) {
   std::vector<RTree<2, uint32_t>::Entry> entries;
   entries.reserve(dataset.size());
   for (uint32_t i = 0; i < dataset.size(); ++i) {
-    const UncertainObject2D& obj = dataset[i];
-    Mbr<2> mbr;
-    if (obj.is_rect()) {
-      mbr = MakeBox(obj.rect().x1, obj.rect().y1, obj.rect().x2,
-                    obj.rect().y2);
-    } else {
-      const Circle2& c = obj.circle();
-      mbr = MakeBox(c.cx - c.r, c.cy - c.r, c.cx + c.r, c.cy + c.r);
-    }
-    entries.push_back({mbr, i});
+    entries.push_back({RegionMbr2D(dataset[i]), i});
   }
   rtree_ = RTree<2, uint32_t>::BulkLoadSTR(std::move(entries));
 }

@@ -29,6 +29,17 @@ double UncertainObject2D::AreaWithinDistance(Point2 q, double r) const {
 
 DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
                                                 Point2 q, int pieces) {
+  DistanceDistribution out;
+  std::vector<double> breaks;
+  std::vector<double> values;
+  MakeDistanceDistribution2DInto(obj, q, pieces, &out, breaks, values);
+  return out;
+}
+
+void MakeDistanceDistribution2DInto(const UncertainObject2D& obj, Point2 q,
+                                    int pieces, DistanceDistribution* out,
+                                    std::vector<double>& breaks,
+                                    std::vector<double>& values) {
   PV_CHECK_MSG(pieces >= 1, "need at least one piece");
   const double near = obj.MinDist(q);
   const double far = obj.MaxDist(q);
@@ -36,8 +47,8 @@ DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
   const double area = obj.Area();
   PV_CHECK_MSG(area > 0.0, "2-D region must have positive area");
 
-  std::vector<double> breaks(pieces + 1);
-  std::vector<double> values(pieces);
+  breaks.assign(static_cast<size_t>(pieces) + 1, 0.0);
+  values.assign(static_cast<size_t>(pieces), 0.0);
   const double w = (far - near) / pieces;
   for (int i = 0; i <= pieces; ++i) breaks[i] = near + i * w;
   breaks.back() = far;
@@ -50,8 +61,8 @@ DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
     values[i] = (next - prev) / (breaks[i + 1] - breaks[i]);
     prev = next;
   }
-  return DistanceDistribution(StepFunction(std::move(breaks),
-                                           std::move(values)));
+  out->AssignFromPieces(breaks.data(), values.data(),
+                        static_cast<size_t>(pieces));
 }
 
 }  // namespace pverify

@@ -51,6 +51,15 @@ class UncertainObject2D {
 DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
                                                 Point2 q, int pieces = 64);
 
+/// In-place variant for hot paths: rebuilds `out` (reusing its storage) with
+/// `breaks`/`values` as radial-cdf work buffers. Same arithmetic as
+/// MakeDistanceDistribution2D, so the result is bit-identical; once the
+/// buffer and `out` capacities cover the piece count, no allocation happens.
+void MakeDistanceDistribution2DInto(const UncertainObject2D& obj, Point2 q,
+                                    int pieces, DistanceDistribution* out,
+                                    std::vector<double>& breaks,
+                                    std::vector<double>& values);
+
 using Dataset2D = std::vector<UncertainObject2D>;
 
 }  // namespace pverify

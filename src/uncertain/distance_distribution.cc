@@ -15,19 +15,47 @@ DistanceDistribution::DistanceDistribution(StepFunction distance_pdf) {
   pdf_ = distance_pdf.Normalized();
 }
 
+void DistanceDistribution::AssignFromPieces(const double* breaks,
+                                            double* values, size_t pieces) {
+  PV_CHECK_MSG(pieces >= 1, "distance pdf must be non-empty");
+  // Total mass accumulated exactly as the StepFunction constructor chains
+  // its cumulative integrals, so the normalization factor — and therefore
+  // every stored value — matches the construct-then-Normalized path bitwise.
+  double mass = 0.0;
+  for (size_t i = 0; i < pieces; ++i) {
+    mass += values[i] * (breaks[i + 1] - breaks[i]);
+  }
+  PV_CHECK_MSG(std::abs(mass - 1.0) < 1e-6,
+               "distance pdf must carry total probability 1");
+  const double factor = 1.0 / mass;
+  for (size_t i = 0; i < pieces; ++i) values[i] *= factor;
+  pdf_.Assign(breaks, values, pieces);
+}
+
 DistanceDistribution DistanceDistribution::From1D(const Pdf& pdf, double q) {
+  DistanceDistribution out;
+  std::vector<double> rb;
+  std::vector<double> values;
+  From1DInto(pdf, q, &out, rb, values);
+  return out;
+}
+
+void DistanceDistribution::From1DInto(const Pdf& pdf, double q,
+                                      DistanceDistribution* out,
+                                      std::vector<double>& rb,
+                                      std::vector<double>& values) {
   const StepFunction& f = pdf.density();
   // Candidate r-breakpoints: the folded images |t − q| of every pdf
   // breakpoint, plus r = 0 when q lies inside the uncertainty region.
-  std::vector<double> rb;
+  rb.clear();
   rb.reserve(f.breaks().size() + 1);
   for (double t : f.breaks()) rb.push_back(std::abs(t - q));
   if (q > f.support_lo() && q < f.support_hi()) rb.push_back(0.0);
-  rb = SortedUnique(std::move(rb));
+  SortedUniqueInPlace(rb);
 
   // On each folded piece the density is dens(q + r) + dens(q − r), constant
   // because no pdf breakpoint maps into the piece's interior.
-  std::vector<double> values;
+  values.clear();
   values.reserve(rb.size() - 1);
   for (size_t i = 0; i + 1 < rb.size(); ++i) {
     double rm = 0.5 * (rb[i] + rb[i + 1]);
@@ -41,10 +69,8 @@ DistanceDistribution DistanceDistribution::From1D(const Pdf& pdf, double q) {
   while (first < last && values[first] <= 0.0) ++first;
   while (last > first && values[last - 1] <= 0.0) --last;
   PV_CHECK_MSG(first < last, "folded pdf has no mass");
-  std::vector<double> breaks(rb.begin() + first, rb.begin() + last + 1);
-  std::vector<double> vals(values.begin() + first, values.begin() + last);
-  return DistanceDistribution(
-      StepFunction(std::move(breaks), std::move(vals)));
+  out->AssignFromPieces(rb.data() + first, values.data() + first,
+                        last - first);
 }
 
 }  // namespace pverify

@@ -27,6 +27,20 @@ class DistanceDistribution {
   /// Folds a 1-D uncertainty pdf around query point q.
   static DistanceDistribution From1D(const Pdf& pdf, double q);
 
+  /// In-place variant of From1D for hot paths: rebuilds `out` (reusing its
+  /// storage) with `rb`/`values` as work buffers. Runs the exact same
+  /// arithmetic as From1D, so the result is bit-identical; once the buffer
+  /// and `out` capacities cover the workload, no allocation happens.
+  static void From1DInto(const Pdf& pdf, double q, DistanceDistribution* out,
+                         std::vector<double>& rb, std::vector<double>& values);
+
+  /// Rebuilds this distribution in place from a raw distance pdf given as
+  /// `pieces` + 1 breakpoints and `pieces` values — the same validation and
+  /// normalization arithmetic as the StepFunction-constructor path, reusing
+  /// this object's storage. `values` is normalized in place (it is a work
+  /// buffer, not an input to preserve).
+  void AssignFromPieces(const double* breaks, double* values, size_t pieces);
+
   /// Near point n_i: minimum possible distance.
   double near() const { return pdf_.support_lo(); }
   /// Far point f_i: maximum possible distance.
@@ -51,6 +65,9 @@ class DistanceDistribution {
   const std::vector<double>& breakpoints() const { return pdf_.breaks(); }
 
   const StepFunction& pdf() const { return pdf_; }
+
+  /// Approximate heap footprint of the owned storage (capacity, not size).
+  size_t ApproxBytes() const { return pdf_.ApproxBytes(); }
 
  private:
   StepFunction pdf_;

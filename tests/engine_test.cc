@@ -141,6 +141,12 @@ TEST(QueryEngineTest, ScratchReusedAcrossHundredQueriesYieldsSameAnswers) {
   for (double q : points) exec.Execute(q, opt, &scratch);
   EXPECT_EQ(scratch.ApproxBytes(), high_water);
   EXPECT_EQ(scratch.queries_served, 2 * points.size());
+
+  // Candidate-set construction is scratch-backed too: the items buffer and
+  // the per-candidate distribution storage were recycled between queries.
+  EXPECT_GT(scratch.candidates.ApproxBytes(), 0u);
+  EXPECT_FALSE(scratch.candidates.spare.empty());
+  EXPECT_GT(scratch.candidates.items.capacity(), 0u);
 }
 
 TEST(QueryEngineTest, BatchStatsAggregateThroughputAndStages) {

@@ -12,6 +12,10 @@
 //   --shards=N         scatter/gather across N QueryEngine shards
 //   --policy=hash|range  sharding policy (default hash)
 //   --async            drive the run through Submit() futures (coalesced)
+//   --dim=2            2-D workload: <dataset> becomes an object count and
+//                      a synthetic 2-D dataset + query workload is
+//                      generated (engine-native kPoint2D requests); the
+//                      other batch flags compose.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -44,7 +48,10 @@ int Usage() {
       "  pverify_cli stats <dataset>\n"
       "  pverify_cli batch <dataset> <num_queries> [threads] [P] "
       "[tolerance]\n"
-      "               [--shards=N] [--policy=hash|range] [--async]\n");
+      "               [--shards=N] [--policy=hash|range] [--async] "
+      "[--dim=2]\n"
+      "               (--dim=2 reads <dataset> as a synthetic 2-D object "
+      "count)\n");
   return 2;
 }
 
@@ -53,6 +60,7 @@ struct BatchFlags {
   size_t shards = 0;  ///< 0 = unsharded QueryEngine
   std::string policy = "hash";
   bool async = false;
+  int dim = 1;  ///< 2 = synthetic 2-D workload through kPoint2D
 };
 
 double ParseDouble(const char* s) {
@@ -112,6 +120,47 @@ int RunRange(const Dataset& data, double lo, double hi, double threshold) {
               results.size());
   for (const RangeResult& r : results) {
     std::printf("%lld %.6f\n", static_cast<long long>(r.id), r.probability);
+  }
+  return 0;
+}
+
+// Shared tail of the batch modes: throughput/phase report + the sequential
+// vs. batched answer-count equivalence check.
+int ReportBatch(const bench::ThroughputPoint& seq,
+                const bench::ThroughputPoint& batched,
+                const EngineStats& stats, const SubmitQueueStats& submit,
+                const BatchFlags& flags, double threshold, double tolerance,
+                size_t num_queries, size_t engine_threads) {
+  if (flags.async) {
+    std::printf("# async: %zu submits coalesced into %zu batches "
+                "(largest %zu)\n",
+                submit.requests, submit.batches, submit.max_coalesced);
+  }
+
+  std::printf("# batch P=%g tolerance=%g queries=%zu threads=%zu dim=%d\n",
+              threshold, tolerance, num_queries, engine_threads, flags.dim);
+  std::printf("sequential:   %10.2f ms  %10.1f q/s  %zu answers\n",
+              seq.wall_ms, seq.Qps(), seq.answers);
+  std::printf("batched:      %10.2f ms  %10.1f q/s  %zu answers\n",
+              batched.wall_ms, batched.Qps(), batched.answers);
+  std::printf("speedup:      %10.2fx\n",
+              batched.wall_ms > 0 ? seq.wall_ms / batched.wall_ms : 0.0);
+  if (stats.queries > 0) {  // the async stream reports no batch aggregate
+    std::printf("phases (of summed query time): filter %.1f%% | init %.1f%% "
+                "| verify %.1f%% | refine %.1f%%\n",
+                100 * stats.PhaseFraction(&QueryStats::filter_ms),
+                100 * stats.PhaseFraction(&QueryStats::init_ms),
+                100 * stats.PhaseFraction(&QueryStats::verify_ms),
+                100 * stats.PhaseFraction(&QueryStats::refine_ms));
+    for (const EngineStats::StageTotal& st : stats.verifier_stages) {
+      std::printf("verifier %-5s %10.2f ms over %zu runs\n", st.name.c_str(),
+                  st.ms, st.runs);
+    }
+  }
+  if (seq.answers != batched.answers) {
+    std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n", seq.answers,
+                 batched.answers);
+    return 1;
   }
   return 0;
 }
@@ -178,39 +227,68 @@ int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
                                                    &stats);
     submit_stats = engine.SubmitStats();
   }
-  if (flags.async) {
-    std::printf("# async: %zu submits coalesced into %zu batches "
-                "(largest %zu)\n",
-                submit_stats.requests, submit_stats.batches,
-                submit_stats.max_coalesced);
-  }
+  return ReportBatch(seq, batched, stats, submit_stats, flags, threshold,
+                     tolerance, num_queries, engine_threads);
+}
 
-  std::printf("# batch P=%g tolerance=%g queries=%zu threads=%zu\n",
-              threshold, tolerance, num_queries, engine_threads);
-  std::printf("sequential:   %10.2f ms  %10.1f q/s  %zu answers\n",
-              seq.wall_ms, seq.Qps(), seq.answers);
-  std::printf("batched:      %10.2f ms  %10.1f q/s  %zu answers\n",
-              batched.wall_ms, batched.Qps(), batched.answers);
-  std::printf("speedup:      %10.2fx\n",
-              batched.wall_ms > 0 ? seq.wall_ms / batched.wall_ms : 0.0);
-  if (stats.queries > 0) {  // the async stream reports no batch aggregate
-    std::printf("phases (of summed query time): filter %.1f%% | init %.1f%% "
-                "| verify %.1f%% | refine %.1f%%\n",
-                100 * stats.PhaseFraction(&QueryStats::filter_ms),
-                100 * stats.PhaseFraction(&QueryStats::init_ms),
-                100 * stats.PhaseFraction(&QueryStats::verify_ms),
-                100 * stats.PhaseFraction(&QueryStats::refine_ms));
-    for (const EngineStats::StageTotal& st : stats.verifier_stages) {
-      std::printf("verifier %-5s %10.2f ms over %zu runs\n", st.name.c_str(),
-                  st.ms, st.runs);
+// 2-D batched throughput mode (--dim=2): synthesizes `count` uniform-pdf
+// rectangles/disks plus a random 2-D query workload and drives them as
+// engine-native kPoint2D requests — sequential executor loop vs. batched
+// engine, sharded and async composing exactly as in 1-D.
+int RunBatch2D(size_t count, size_t num_queries, size_t threads,
+               double threshold, double tolerance, const BatchFlags& flags) {
+  datagen::Synthetic2DConfig config;
+  config.count = count;
+  Dataset2D data = datagen::MakeSynthetic2D(config);
+  const std::vector<Point2> points =
+      datagen::MakeQueryPoints2D(num_queries, 0.0, config.domain,
+                                 /*seed=*/103);
+
+  QueryOptions opt;
+  opt.params = {threshold, tolerance};
+  opt.strategy = Strategy::kVR;
+
+  CpnnExecutor2D exec(data);
+  bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
+
+  EngineStats stats;
+  bench::ThroughputPoint batched;
+  size_t engine_threads = 0;
+  SubmitQueueStats submit_stats;
+  if (flags.shards > 0) {
+    ShardedEngineOptions sopt;
+    sopt.num_shards = flags.shards;
+    sopt.num_threads = threads;
+    if (flags.policy == "range") {
+      sopt.policy = std::make_shared<const RangeShardingPolicy>(
+          RangeShardingPolicy::ForDataset2D(data));
+    } else if (flags.policy != "hash") {
+      std::fprintf(stderr, "error: unknown policy '%s'\n",
+                   flags.policy.c_str());
+      return 2;
     }
+    ShardedQueryEngine engine(data, sopt);
+    engine_threads = engine.num_threads();
+    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                          : bench::TimeShardedBatch(engine, points, opt,
+                                                    &stats);
+    submit_stats = engine.SubmitStats();
+    std::printf("# sharded: %zu shards (%s policy), %zu shard visits, "
+                "%zu pruned by bounds\n",
+                engine.num_shards(), engine.policy().name().data(),
+                engine.ShardVisits(), engine.ShardsPruned());
+  } else {
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    QueryEngine engine(data, eopt);
+    engine_threads = engine.num_threads();
+    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                          : bench::TimeEngineBatch(engine, points, opt,
+                                                   &stats);
+    submit_stats = engine.SubmitStats();
   }
-  if (seq.answers != batched.answers) {
-    std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n", seq.answers,
-                 batched.answers);
-    return 1;
-  }
-  return 0;
+  return ReportBatch(seq, batched, stats, submit_stats, flags, threshold,
+                     tolerance, num_queries, engine_threads);
 }
 
 int RunStats(const Dataset& data) {
@@ -256,6 +334,13 @@ int main(int argc, char** argv) {
       flags.policy = a + 9;
     } else if (std::strcmp(a, "--async") == 0) {
       flags.async = true;
+    } else if (std::strncmp(a, "--dim=", 6) == 0) {
+      double d = ParseDouble(a + 6);
+      if (d != 1 && d != 2) {
+        std::fprintf(stderr, "error: --dim must be 1 or 2\n");
+        return 2;
+      }
+      flags.dim = static_cast<int>(d);
     } else if (std::strncmp(a, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", a);
       return 2;
@@ -270,8 +355,35 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (saw_flags && cmd != "batch") {
     std::fprintf(stderr,
-                 "error: --shards/--policy/--async apply to batch only\n");
+                 "error: --shards/--policy/--async/--dim apply to batch "
+                 "only\n");
     return 2;
+  }
+  // The 2-D batch mode synthesizes its dataset: <dataset> is an object
+  // count, so no file is loaded (and no fallthrough to the file loader —
+  // a wrong argument count is a usage error).
+  if (cmd == "batch" && flags.dim == 2) {
+    if (argc < 4 || argc > 7) return Usage();
+    double count = ParseDouble(argv[2]);
+    double num_queries = ParseDouble(argv[3]);
+    double threads = argc >= 5 ? ParseDouble(argv[4]) : 0.0;
+    if (count < 1 || num_queries < 1 || threads < 0) {
+      std::fprintf(stderr,
+                   "error: count and num_queries must be >= 1, threads >= "
+                   "0\n");
+      return 2;
+    }
+    double threshold = argc >= 6 ? ParseDouble(argv[5]) : 0.3;
+    double tolerance = argc >= 7 ? ParseDouble(argv[6]) : 0.01;
+    try {
+      return RunBatch2D(static_cast<size_t>(count),
+                        static_cast<size_t>(num_queries),
+                        static_cast<size_t>(threads), threshold, tolerance,
+                        flags);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
   Dataset data;
   try {
