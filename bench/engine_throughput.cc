@@ -55,12 +55,13 @@ int main() {
   for (size_t threads : thread_counts) {
     EngineOptions eopt;
     eopt.num_threads = threads;
-    QueryEngine engine(env.dataset, eopt);
+    QueryEngine owned(env.dataset, eopt);
+    Engine& engine = owned;  // measured through the abstract interface
     // Warm the per-worker scratches, then measure.
-    bench::TimeEngineBatch(engine, env.query_points, opt);
+    bench::TimeBatch(engine, env.query_points, opt);
     EngineStats stats;
     bench::ThroughputPoint batched =
-        bench::TimeEngineBatch(engine, env.query_points, opt, &stats);
+        bench::TimeBatch(engine, env.query_points, opt, &stats);
     table.AddRow({std::to_string(threads), FormatDouble(batched.wall_ms, 2),
                   FormatDouble(batched.Qps(), 1),
                   FormatDouble(batched.Qps() / sequential.Qps(), 2),

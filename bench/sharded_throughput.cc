@@ -52,10 +52,12 @@ int main() {
                      "pruned_per_query"},
                     "sharded_throughput.csv");
 
+  // Both engines are driven through Engine& below; construction is the
+  // only place the sharded/unsharded choice exists.
   QueryEngine baseline(env.dataset, EngineOptions{threads});
-  bench::TimeEngineBatch(baseline, env.query_points, opt);  // warm-up
+  bench::TimeBatch(baseline, env.query_points, opt);  // warm-up
   bench::ThroughputPoint base =
-      bench::TimeEngineBatch(baseline, env.query_points, opt);
+      bench::TimeBatch(baseline, env.query_points, opt);
   table.AddRow({"single", "-", "-", FormatDouble(base.wall_ms, 2),
                 FormatDouble(base.Qps(), 1), FormatDouble(1.0, 2), "-", "-"});
 
@@ -69,11 +71,11 @@ int main() {
             RangeShardingPolicy::ForDataset(env.dataset));
       }
       ShardedQueryEngine sharded(env.dataset, sopt);
-      bench::TimeShardedBatch(sharded, env.query_points, opt);  // warm-up
+      bench::TimeBatch(sharded, env.query_points, opt);  // warm-up
       const size_t visits0 = sharded.ShardVisits();
       const size_t pruned0 = sharded.ShardsPruned();
       bench::ThroughputPoint point =
-          bench::TimeShardedBatch(sharded, env.query_points, opt);
+          bench::TimeBatch(sharded, env.query_points, opt);
       if (point.answers != base.answers) {
         std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n",
                      point.answers, base.answers);

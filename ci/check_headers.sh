@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Header self-containedness check: compile every public header under src/
+# standalone (-fsyntax-only on the bare header) so each one keeps carrying
+# its own includes. A header that only compiles when included after some
+# sibling breaks downstream users and IDE tooling; this gate keeps the new
+# engine API headers (engine/request.h, engine/engine.h, ...) includable in
+# isolation.
+#
+# Usage: ci/check_headers.sh [compiler]   (default: c++)
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${1:-c++}"
+status=0
+checked=0
+for header in $(find src -name '*.h' | sort); do
+  checked=$((checked + 1))
+  if ! "$CXX" -std=c++17 -fsyntax-only -Wall -Wextra -Werror -Isrc \
+       -x c++ "$header" 2>/tmp/header_check_err; then
+    echo "NOT self-contained: $header"
+    sed 's/^/    /' /tmp/header_check_err | head -15
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: all $checked headers under src/ compile standalone"
+else
+  echo "FAILED: some headers do not compile standalone (see above)"
+fi
+exit "$status"

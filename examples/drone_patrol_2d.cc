@@ -42,8 +42,7 @@ int main() {
   // One incident: a single engine-native 2-D point query.
   QueryEngine control(swarm, EngineOptions{4});
   Point2 incident{12500.0, 7300.0};
-  QueryResult result =
-      control.Execute(QueryRequest::Point2D(incident, options));
+  QueryResult result = control.Execute(Point2DQuery{incident, options});
   std::printf("incident at (%.0f, %.0f): %zu candidate drone(s), %zu likely "
               "responder(s)\n",
               incident.x, incident.y, result.stats.candidates,
@@ -57,13 +56,18 @@ int main() {
   // storage, so the steady state stops allocating.
   std::vector<Point2> incidents =
       datagen::MakeQueryPoints2D(200, 0.0, 20000.0, /*seed=*/23);
-  std::vector<QueryRequest> batch;
-  for (Point2 p : incidents) {
-    batch.push_back(QueryRequest::Point2D(p, options));
-  }
+  // The shift batch only needs an Engine& — the same call drives the
+  // unsharded control engine here and the sharded sector engine below.
+  auto run_shift = [&incidents, &options](Engine& engine,
+                                          EngineStats* stats) {
+    std::vector<QueryRequest> batch;
+    for (Point2 p : incidents) {
+      batch.push_back(Point2DQuery{p, options});
+    }
+    return engine.ExecuteBatch(std::move(batch), stats);
+  };
   EngineStats stats;
-  std::vector<QueryResult> results =
-      control.ExecuteBatch(std::move(batch), &stats);
+  std::vector<QueryResult> results = run_shift(control, &stats);
   size_t answers = 0;
   for (const QueryResult& r : results) answers += r.ids.size();
   std::printf("\nbatch: %zu incidents on %zu threads in %.2f ms "
@@ -78,12 +82,7 @@ int main() {
   sopt.policy = std::make_shared<const RangeShardingPolicy>(
       RangeShardingPolicy::ForDataset2D(swarm));
   ShardedQueryEngine sectors(swarm, sopt);
-  std::vector<QueryRequest> sharded_batch;
-  for (Point2 p : incidents) {
-    sharded_batch.push_back(QueryRequest::Point2D(p, options));
-  }
-  std::vector<QueryResult> sharded_results =
-      sectors.ExecuteBatch(std::move(sharded_batch));
+  std::vector<QueryResult> sharded_results = run_shift(sectors, nullptr);
   size_t sharded_answers = 0;
   size_t mismatches = 0;
   for (size_t i = 0; i < sharded_results.size(); ++i) {

@@ -5,6 +5,9 @@
 // the shards near it — and serves interactive requests through the async
 // Submit path: each incoming pickup submits one query and gets a future,
 // while the engine coalesces everything in flight into pool batches.
+//
+// The serving code only sees pverify::Engine& — swapping the sharded
+// engine for an unsharded QueryEngine is a one-line construction change.
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -34,6 +37,7 @@ int main() {
   sopt.policy = std::make_shared<const RangeShardingPolicy>(
       RangeShardingPolicy::ForDataset(fleet));
   ShardedQueryEngine dispatch(fleet, sopt);
+  Engine& service = dispatch;  // everything below is backend-agnostic
 
   QueryOptions options;
   options.params = {/*threshold=*/0.2, /*tolerance=*/0.01};
@@ -47,7 +51,7 @@ int main() {
   for (int r = 0; r < 12; ++r) {
     double at = pickups.Uniform(0.0, 100000.0);
     locations.push_back(at);
-    futures.push_back(dispatch.Submit(QueryRequest::Point(at, options)));
+    futures.push_back(service.Submit(PointQuery{at, options}));
   }
 
   for (size_t r = 0; r < futures.size(); ++r) {
@@ -60,7 +64,7 @@ int main() {
     std::printf("\n");
   }
 
-  SubmitQueueStats qs = dispatch.SubmitStats();
+  SubmitQueueStats qs = service.SubmitStats();
   std::printf("\n%zu requests ran as %zu coalesced batch(es); "
               "%zu shard visits, %zu skipped by district bounds\n",
               qs.requests, qs.batches, dispatch.ShardVisits(),
@@ -69,10 +73,10 @@ int main() {
   // --- Nightly audit: a full batch over fixed checkpoints, with stats. ---
   std::vector<QueryRequest> audit;
   for (double km = 5000.0; km < 100000.0; km += 5000.0) {
-    audit.push_back(QueryRequest::Point(km, options));
+    audit.push_back(PointQuery{km, options});
   }
-  audit.push_back(QueryRequest::Min(options));
-  audit.push_back(QueryRequest::Max(options));
+  audit.push_back(MinQuery{options});
+  audit.push_back(MaxQuery{options});
   ShardedBatchStats stats;
   std::vector<QueryResult> results =
       dispatch.ExecuteBatch(std::move(audit), &stats);

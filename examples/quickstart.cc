@@ -40,7 +40,7 @@ int main() {
   options.strategy = Strategy::kVR;  // verifiers + incremental refinement
   options.report_probabilities = true;
 
-  QueryResult answer = engine.Execute(QueryRequest::Point(q, options));
+  QueryResult answer = engine.Execute(PointQuery{q, options});
   std::printf("\nC-PNN (P=%.2f, tolerance=%.2f) answers:", 0.3, 0.01);
   for (ObjectId id : answer.ids) {
     std::printf(" %lld", static_cast<long long>(id));
@@ -60,14 +60,15 @@ int main() {
   std::printf("candidates: %zu, subregions: %zu, integrations: %zu\n",
               s.candidates, s.num_subregions, s.subregion_integrations);
 
-  // 6. Batches: mixed request kinds fan out across the worker pool and
+  // 6. Batches: mixed request kinds (each a typed payload struct wrapped
+  //    into the QueryRequest variant) fan out across the worker pool and
   //    come back in request order with an aggregate.
   std::vector<QueryRequest> batch;
-  batch.push_back(QueryRequest::Point(12.0, options));
-  batch.push_back(QueryRequest::Point(21.0, options));
-  batch.push_back(QueryRequest::Min(options));   // likely-smallest sensor
-  batch.push_back(QueryRequest::Max(options));   // likely-largest sensor
-  batch.push_back(QueryRequest::Knn(12.0, 2, options));
+  batch.push_back(PointQuery{12.0, options});
+  batch.push_back(PointQuery{21.0, options});
+  batch.push_back(MinQuery{options});   // likely-smallest sensor
+  batch.push_back(MaxQuery{options});   // likely-largest sensor
+  batch.push_back(KnnQuery{12.0, 2, options});
   EngineStats stats;
   std::vector<QueryResult> results =
       engine.ExecuteBatch(std::move(batch), &stats);

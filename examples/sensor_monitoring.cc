@@ -37,8 +37,8 @@ int main() {
   options.strategy = Strategy::kVR;
 
   std::vector<QueryRequest> tick;
-  for (double c : centroids) tick.push_back(QueryRequest::Point(c, options));
-  tick.push_back(QueryRequest::Min(options));
+  for (double c : centroids) tick.push_back(PointQuery{c, options});
+  tick.push_back(MinQuery{options});
 
   EngineStats stats;
   std::vector<QueryResult> results =
@@ -81,10 +81,9 @@ int main() {
   // --- Why C-PNN instead of PNN? Show the work saved. ---------------------
   QueryOptions basic = options;
   basic.strategy = Strategy::kBasic;
-  QueryResult full =
-      engine.Execute(QueryRequest::Point(centroids[1], basic));
+  QueryResult full = engine.Execute(PointQuery{centroids[1], basic});
   QueryResult constrained =
-      engine.Execute(QueryRequest::Point(centroids[1], options));
+      engine.Execute(PointQuery{centroids[1], options});
   std::printf(
       "\nwork comparison at the %.1f°C centroid query:\n"
       "  Basic (exact probabilities): %.3f ms\n"

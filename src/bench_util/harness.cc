@@ -62,7 +62,7 @@ namespace {
 // ExecuteBatch and repackages the engine-reported wall time. The engine
 // already measures the batch wall time; reuse it rather than keeping a
 // second clock that could drift from the reported stats.
-template <typename Engine, typename Point>
+template <typename Point>
 ThroughputPoint TimeBatchImpl(Engine& engine,
                               const std::vector<Point>& points,
                               const QueryOptions& options,
@@ -99,31 +99,13 @@ ThroughputPoint TimeSequentialLoop(const CpnnExecutor2D& executor,
   return point;
 }
 
-ThroughputPoint TimeEngineBatch(QueryEngine& engine,
-                                const std::vector<double>& points,
-                                const QueryOptions& options,
-                                EngineStats* stats) {
+ThroughputPoint TimeBatch(Engine& engine, const std::vector<double>& points,
+                          const QueryOptions& options, EngineStats* stats) {
   return TimeBatchImpl(engine, points, options, stats);
 }
 
-ThroughputPoint TimeEngineBatch(QueryEngine& engine,
-                                const std::vector<Point2>& points,
-                                const QueryOptions& options,
-                                EngineStats* stats) {
-  return TimeBatchImpl(engine, points, options, stats);
-}
-
-ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
-                                 const std::vector<double>& points,
-                                 const QueryOptions& options,
-                                 EngineStats* stats) {
-  return TimeBatchImpl(engine, points, options, stats);
-}
-
-ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
-                                 const std::vector<Point2>& points,
-                                 const QueryOptions& options,
-                                 EngineStats* stats) {
+ThroughputPoint TimeBatch(Engine& engine, const std::vector<Point2>& points,
+                          const QueryOptions& options, EngineStats* stats) {
   return TimeBatchImpl(engine, points, options, stats);
 }
 

@@ -12,6 +12,7 @@
 #include "common/timer.h"
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
+#include "engine/engine.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
 
@@ -70,38 +71,26 @@ ThroughputPoint TimeSequentialLoop(const CpnnExecutor2D& executor,
 /// Builds the engine request for a query point of either dimensionality —
 /// lets the workload drivers below stay dimension-agnostic.
 inline QueryRequest MakePointRequest(double q, const QueryOptions& options) {
-  return QueryRequest::Point(q, options);
+  return PointQuery{q, options};
 }
 inline QueryRequest MakePointRequest(Point2 q, const QueryOptions& options) {
-  return QueryRequest::Point2D(q, options);
+  return Point2DQuery{q, options};
 }
 
-/// Times one QueryEngine::ExecuteBatch over the points at the engine's
-/// thread count. `stats` (optional) receives the batch aggregate.
-ThroughputPoint TimeEngineBatch(QueryEngine& engine,
-                                const std::vector<double>& points,
-                                const QueryOptions& options,
-                                EngineStats* stats = nullptr);
-ThroughputPoint TimeEngineBatch(QueryEngine& engine,
-                                const std::vector<Point2>& points,
-                                const QueryOptions& options,
-                                EngineStats* stats = nullptr);
-
-/// Times one ShardedQueryEngine::ExecuteBatch over the points. `stats`
-/// (optional) receives the gathered batch aggregate.
-ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
-                                 const std::vector<double>& points,
-                                 const QueryOptions& options,
-                                 EngineStats* stats = nullptr);
-ThroughputPoint TimeShardedBatch(ShardedQueryEngine& engine,
-                                 const std::vector<Point2>& points,
-                                 const QueryOptions& options,
-                                 EngineStats* stats = nullptr);
+/// Times one Engine::ExecuteBatch over the points at the engine's thread
+/// count — sharded vs. unsharded is whatever the caller constructed.
+/// `stats` (optional) receives the batch aggregate.
+ThroughputPoint TimeBatch(Engine& engine, const std::vector<double>& points,
+                          const QueryOptions& options,
+                          EngineStats* stats = nullptr);
+ThroughputPoint TimeBatch(Engine& engine, const std::vector<Point2>& points,
+                          const QueryOptions& options,
+                          EngineStats* stats = nullptr);
 
 /// Times an async-submission stream: every point Submit()ed back to back
 /// (no explicit batch), then all futures drained. Measures the coalescing
-/// path end to end. Works for both engines and both dimensionalities.
-template <typename Engine, typename Point>
+/// path end to end, for any Engine and both dimensionalities.
+template <typename Point>
 ThroughputPoint TimeSubmitStream(Engine& engine,
                                  const std::vector<Point>& points,
                                  const QueryOptions& options) {

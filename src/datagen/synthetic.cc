@@ -124,5 +124,49 @@ Dataset2D MakeSynthetic2D(const Synthetic2DConfig& config) {
   return dataset;
 }
 
+Dataset2D MakeSynthetic2DClustered(
+    const Synthetic2DClusteredConfig& config) {
+  PV_CHECK_MSG(config.count > 0, "empty dataset requested");
+  PV_CHECK_MSG(config.domain > 0.0, "bad domain");
+  PV_CHECK_MSG(config.num_clusters > 0 || !config.centers.empty(),
+               "clustered dataset needs at least one cluster");
+  std::vector<Point2> centers = config.centers;
+  if (centers.empty()) {
+    // Evenly spaced along the diagonal: deterministic, well separated.
+    for (int c = 0; c < config.num_clusters; ++c) {
+      const double at = config.domain * (c + 0.5) / config.num_clusters;
+      centers.push_back({at, at});
+    }
+  }
+
+  Rng rng(config.seed);
+  Dataset2D dataset;
+  dataset.reserve(config.count);
+  for (size_t i = 0; i < config.count; ++i) {
+    const Point2& center = centers[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(centers.size()) - 1))];
+    double cx = std::clamp(rng.Gaussian(center.x, config.cluster_stddev),
+                           0.0, config.domain);
+    double cy = std::clamp(rng.Gaussian(center.y, config.cluster_stddev),
+                           0.0, config.domain);
+    double ext = std::min(config.max_extent,
+                          std::max(0.25, rng.Exponential(
+                                             1.0 / config.mean_extent)));
+    if (rng.Bernoulli(config.circle_fraction)) {
+      dataset.emplace_back(static_cast<ObjectId>(i),
+                           Circle2{cx, cy, 0.5 * ext});
+    } else {
+      double w = ext;
+      double h = std::min(config.max_extent,
+                          std::max(0.25, rng.Exponential(
+                                             1.0 / config.mean_extent)));
+      dataset.emplace_back(
+          static_cast<ObjectId>(i),
+          Rect2{cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h});
+    }
+  }
+  return dataset;
+}
+
 }  // namespace datagen
 }  // namespace pverify

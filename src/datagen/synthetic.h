@@ -12,6 +12,7 @@
 #define PVERIFY_DATAGEN_SYNTHETIC_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "uncertain/distance2d.h"
@@ -66,6 +67,30 @@ struct Synthetic2DConfig {
   uint64_t seed = 13;
 };
 Dataset2D MakeSynthetic2D(const Synthetic2DConfig& config);
+
+/// Clustered 2-D synthetic dataset: Gaussian clusters over the square
+/// domain (MakeSynthetic2D is uniform scatter). Cluster centers default to
+/// evenly spaced points along the domain diagonal — deterministic and
+/// well-separated, so range (x-stripe) sharding keeps each cluster in its
+/// own shard and bounds-based scatter pruning has teeth; pass explicit
+/// `centers` to place them elsewhere. Each object picks a cluster uniformly
+/// and scatters around its center with `cluster_stddev` Gaussian noise per
+/// axis (clamped into the domain); extents follow the same skewed
+/// (exponential) distribution as the uniform generator.
+struct Synthetic2DClusteredConfig {
+  size_t count = 2000;
+  double domain = 10000.0;
+  int num_clusters = 4;
+  double cluster_stddev = 150.0;
+  /// Explicit cluster centers; empty means evenly spaced on the diagonal
+  /// (center i at domain * (i + 0.5) / num_clusters on both axes).
+  std::vector<Point2> centers;
+  double mean_extent = 6.0;
+  double max_extent = 40.0;
+  double circle_fraction = 0.5;
+  uint64_t seed = 17;
+};
+Dataset2D MakeSynthetic2DClustered(const Synthetic2DClusteredConfig& config);
 
 }  // namespace datagen
 }  // namespace pverify

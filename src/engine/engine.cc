@@ -1,0 +1,8 @@
+#include "engine/engine.h"
+
+namespace pverify {
+
+// Out-of-line so the interface has a home TU for its vtable.
+Engine::~Engine() = default;
+
+}  // namespace pverify

@@ -1,0 +1,50 @@
+#include "engine/engine_stats.h"
+
+#include <algorithm>
+
+namespace pverify {
+
+namespace {
+
+EngineStats::StageTotal* StageSlot(const std::string& name,
+                                   EngineStats* agg) {
+  for (EngineStats::StageTotal& t : agg->verifier_stages) {
+    if (t.name == name) return &t;
+  }
+  agg->verifier_stages.push_back(EngineStats::StageTotal{name, 0.0, 0});
+  return &agg->verifier_stages.back();
+}
+
+}  // namespace
+
+void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg) {
+  for (const StageStats& stage : stats.verification.stages) {
+    EngineStats::StageTotal* slot = StageSlot(stage.name, agg);
+    slot->ms += stage.ms;
+    ++slot->runs;
+  }
+}
+
+void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg) {
+  ++agg->queries;
+  stats.AccumulateInto(agg->totals);
+  AccumulateVerifierStages(stats, agg);
+}
+
+EngineStats MergeEngineStats(const std::vector<EngineStats>& parts) {
+  EngineStats merged;
+  for (const EngineStats& part : parts) {
+    merged.queries += part.queries;
+    merged.threads = std::max(merged.threads, part.threads);
+    merged.wall_ms = std::max(merged.wall_ms, part.wall_ms);
+    part.totals.AccumulateInto(merged.totals);
+    for (const EngineStats::StageTotal& stage : part.verifier_stages) {
+      EngineStats::StageTotal* slot = StageSlot(stage.name, &merged);
+      slot->ms += stage.ms;
+      slot->runs += stage.runs;
+    }
+  }
+  return merged;
+}
+
+}  // namespace pverify

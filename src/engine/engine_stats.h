@@ -1,0 +1,74 @@
+// Batch-level statistics shared by every Engine implementation.
+//
+// EngineStats aggregates the per-query QueryStats of one batch (phase
+// totals, verifier stage totals, derived rates); MergeEngineStats folds
+// per-part aggregates — e.g. one EngineStats per shard — into one.
+// SubmitQueueStats is the async submission queue's coalescing telemetry.
+#ifndef PVERIFY_ENGINE_ENGINE_STATS_H_
+#define PVERIFY_ENGINE_ENGINE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace pverify {
+
+/// Aggregate outcome of one ExecuteBatch call.
+struct EngineStats {
+  size_t queries = 0;
+  size_t threads = 0;
+  double wall_ms = 0.0;  ///< end-to-end batch wall time
+  /// Per-phase totals accumulated over every query (QueryStats semantics).
+  QueryStats totals;
+
+  /// Verifier stage time/run totals aggregated by stage name, in chain
+  /// order of first appearance (reproduces the paper's Fig. 12 fractions
+  /// at engine level).
+  struct StageTotal {
+    std::string name;
+    double ms = 0.0;
+    size_t runs = 0;
+  };
+  std::vector<StageTotal> verifier_stages;
+
+  double QueriesPerSec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
+                         : 0.0;
+  }
+  double AvgQueryMs() const {
+    return queries > 0 ? totals.total_ms / static_cast<double>(queries) : 0.0;
+  }
+  /// Fraction of summed per-query time spent in a phase (filter / init /
+  /// verify / refine).
+  double PhaseFraction(double QueryStats::*phase) const {
+    return totals.total_ms > 0.0 ? totals.*phase / totals.total_ms : 0.0;
+  }
+};
+
+/// Folds one query's stats into an aggregate's verifier stage totals
+/// (matching stages by name, appending in order of first appearance).
+void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg);
+
+/// Folds one query's outcome (phase totals + verifier stages + query count)
+/// into a batch aggregate. wall_ms/threads are left to the caller.
+void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg);
+
+/// Merges per-part aggregates (e.g. one EngineStats per shard) into one:
+/// queries, phase totals and verifier stage totals sum exactly (stages
+/// matched by name, ordered by first appearance across parts); threads and
+/// wall_ms take the max, since parts run concurrently. Merging an empty
+/// vector yields a zero aggregate whose derived rates are all finite.
+EngineStats MergeEngineStats(const std::vector<EngineStats>& parts);
+
+/// Telemetry of an engine's async submission queue.
+struct SubmitQueueStats {
+  size_t requests = 0;       ///< total Submit calls
+  size_t batches = 0;        ///< dispatches to the worker pool
+  size_t max_coalesced = 0;  ///< largest single coalesced batch
+};
+
+}  // namespace pverify
+
+#endif  // PVERIFY_ENGINE_ENGINE_STATS_H_

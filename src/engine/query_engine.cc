@@ -1,167 +1,13 @@
 #include "engine/query_engine.h"
 
-#include <algorithm>
 #include <utility>
+#include <variant>
 
 #include "common/check.h"
 #include "common/timer.h"
 #include "engine/submit_queue.h"
 
 namespace pverify {
-
-std::string_view ToString(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kPoint:
-      return "point";
-    case QueryKind::kMin:
-      return "min";
-    case QueryKind::kMax:
-      return "max";
-    case QueryKind::kKnn:
-      return "knn";
-    case QueryKind::kCandidates:
-      return "candidates";
-    case QueryKind::kPoint2D:
-      return "point2d";
-  }
-  return "?";
-}
-
-QueryRequest::QueryRequest(QueryRequest&& other) noexcept
-    : kind(other.kind),
-      q(other.q),
-      q2(other.q2),
-      k(other.k),
-      options(std::move(other.options)),
-      candidates(std::move(other.candidates)),
-      payload_consumed(other.payload_consumed) {
-  // The payload travels with this request; the source can no longer
-  // produce it, so re-submitting the source is flagged as consumption.
-  other.payload_consumed = true;
-}
-
-QueryRequest& QueryRequest::operator=(QueryRequest&& other) noexcept {
-  if (this != &other) {
-    kind = other.kind;
-    q = other.q;
-    q2 = other.q2;
-    k = other.k;
-    options = std::move(other.options);
-    candidates = std::move(other.candidates);
-    payload_consumed = other.payload_consumed;
-    other.payload_consumed = true;
-  }
-  return *this;
-}
-
-QueryRequest QueryRequest::Point(double q, QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kPoint;
-  r.q = q;
-  r.options = std::move(options);
-  return r;
-}
-
-QueryRequest QueryRequest::Point2D(pverify::Point2 q, QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kPoint2D;
-  r.q2 = q;
-  r.options = std::move(options);
-  return r;
-}
-
-QueryRequest QueryRequest::Min(QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kMin;
-  r.options = std::move(options);
-  return r;
-}
-
-QueryRequest QueryRequest::Max(QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kMax;
-  r.options = std::move(options);
-  return r;
-}
-
-QueryRequest QueryRequest::Knn(double q, int k, QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kKnn;
-  r.q = q;
-  r.k = k;
-  r.options = std::move(options);
-  return r;
-}
-
-QueryRequest QueryRequest::Candidates(CandidateSet candidates,
-                                      QueryOptions options) {
-  QueryRequest r;
-  r.kind = QueryKind::kCandidates;
-  r.candidates = std::move(candidates);
-  r.options = std::move(options);
-  return r;
-}
-
-QueryResult ToQueryResult(QueryAnswer&& answer) {
-  QueryResult result;
-  result.ids = std::move(answer.ids);
-  result.stats = std::move(answer.stats);
-  result.candidate_probabilities =
-      std::move(answer.candidate_probabilities);
-  return result;
-}
-
-void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg) {
-  for (const StageStats& stage : stats.verification.stages) {
-    EngineStats::StageTotal* slot = nullptr;
-    for (EngineStats::StageTotal& t : agg->verifier_stages) {
-      if (t.name == stage.name) {
-        slot = &t;
-        break;
-      }
-    }
-    if (slot == nullptr) {
-      agg->verifier_stages.push_back(EngineStats::StageTotal{stage.name,
-                                                             0.0, 0});
-      slot = &agg->verifier_stages.back();
-    }
-    slot->ms += stage.ms;
-    ++slot->runs;
-  }
-}
-
-void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg) {
-  ++agg->queries;
-  stats.AccumulateInto(agg->totals);
-  AccumulateVerifierStages(stats, agg);
-}
-
-EngineStats MergeEngineStats(const std::vector<EngineStats>& parts) {
-  EngineStats merged;
-  for (const EngineStats& part : parts) {
-    merged.queries += part.queries;
-    merged.threads = std::max(merged.threads, part.threads);
-    merged.wall_ms = std::max(merged.wall_ms, part.wall_ms);
-    part.totals.AccumulateInto(merged.totals);
-    for (const EngineStats::StageTotal& stage : part.verifier_stages) {
-      EngineStats::StageTotal* slot = nullptr;
-      for (EngineStats::StageTotal& t : merged.verifier_stages) {
-        if (t.name == stage.name) {
-          slot = &t;
-          break;
-        }
-      }
-      if (slot == nullptr) {
-        merged.verifier_stages.push_back(
-            EngineStats::StageTotal{stage.name, 0.0, 0});
-        slot = &merged.verifier_stages.back();
-      }
-      slot->ms += stage.ms;
-      slot->runs += stage.runs;
-    }
-  }
-  return merged;
-}
 
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : executor_(std::move(dataset)),
@@ -263,45 +109,51 @@ size_t QueryEngine::ScratchBytes() const {
 
 QueryResult QueryEngine::ExecuteOne(QueryRequest&& request,
                                     QueryScratch* scratch) const {
+  return std::visit(
+      [&](auto&& payload) {
+        return Run(std::move(payload), scratch);
+      },
+      std::move(request.query));
+}
+
+QueryResult QueryEngine::Run(PointQuery&& q, QueryScratch* scratch) const {
+  return ToQueryResult(executor_.Execute(q.q, q.options, scratch));
+}
+
+QueryResult QueryEngine::Run(MinQuery&& q, QueryScratch* scratch) const {
+  return ToQueryResult(executor_.ExecuteMin(q.options, scratch));
+}
+
+QueryResult QueryEngine::Run(MaxQuery&& q, QueryScratch* scratch) const {
+  return ToQueryResult(executor_.ExecuteMax(q.options, scratch));
+}
+
+QueryResult QueryEngine::Run(KnnQuery&& q, QueryScratch*) const {
+  Timer t;
+  CknnAnswer answer =
+      executor_.ExecuteKnn(q.q, q.k, q.options.params, q.options.integration);
   QueryResult result;
-  switch (request.kind) {
-    case QueryKind::kPoint:
-      result = ToQueryResult(
-          executor_.Execute(request.q, request.options, scratch));
-      break;
-    case QueryKind::kMin:
-      result = ToQueryResult(executor_.ExecuteMin(request.options, scratch));
-      break;
-    case QueryKind::kMax:
-      result = ToQueryResult(executor_.ExecuteMax(request.options, scratch));
-      break;
-    case QueryKind::kKnn: {
-      Timer t;
-      CknnAnswer answer =
-          executor_.ExecuteKnn(request.q, request.k, request.options.params,
-                               request.options.integration);
-      result.stats.total_ms = t.ElapsedMs();
-      result.stats.dataset_size = executor_.dataset().size();
-      result.stats.candidates = answer.bounds.size();
-      result.ids = answer.ids;
-      result.knn = std::move(answer);
-      break;
-    }
-    case QueryKind::kCandidates:
-      // A moved-from kCandidates request carries no payload; evaluating it
-      // would silently answer over an empty set.
-      PV_DCHECK(!request.payload_consumed);
-      result = ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
-                                                 request.options, scratch));
-      break;
-    case QueryKind::kPoint2D:
-      PV_CHECK_MSG(executor2d_.has_value(),
-                   "kPoint2D request on an engine without a 2-D dataset");
-      result = ToQueryResult(
-          executor2d_->Execute(request.q2, request.options, scratch));
-      break;
-  }
+  result.stats.total_ms = t.ElapsedMs();
+  result.stats.dataset_size = executor_.dataset().size();
+  result.stats.candidates = answer.bounds.size();
+  result.ids = answer.ids;
+  result.knn = std::move(answer);
   return result;
+}
+
+QueryResult QueryEngine::Run(CandidatesQuery&& q,
+                             QueryScratch* scratch) const {
+  // TakeCandidates throws on a consumed (moved-from) payload, so a
+  // re-submitted request is rejected instead of silently answering over an
+  // empty set.
+  return ToQueryResult(
+      ExecuteOnCandidates(q.TakeCandidates(), q.options, scratch));
+}
+
+QueryResult QueryEngine::Run(Point2DQuery&& q, QueryScratch* scratch) const {
+  PV_CHECK_MSG(executor2d_.has_value(),
+               "Point2DQuery on an engine without a 2-D dataset");
+  return ToQueryResult(executor2d_->Execute(q.q, q.options, scratch));
 }
 
 }  // namespace pverify

@@ -2,14 +2,15 @@
 //
 // A QueryEngine owns a CpnnExecutor (dataset + R-tree) and/or a
 // CpnnExecutor2D (2-D dataset + 2-D R-tree), a fixed-size worker pool
-// (spawned on first batched use) and one QueryScratch per worker. It exposes
-// a unified request/result API over every query family the library
-// evaluates — point C-PNN (1-D and native 2-D), min/max, constrained k-NN,
-// and pre-built candidate sets — and fans request batches across the
-// workers with dynamic load balancing. Results are returned in request
-// order and are bit-identical to running the same requests sequentially
-// through the executors: workers share nothing but the read-only executors,
-// and each query's arithmetic is unchanged.
+// (spawned on first batched use) and one QueryScratch per worker. It is the
+// single-process implementation of the pverify::Engine interface (see
+// engine/engine.h): one request/result surface over every query family the
+// library evaluates — point C-PNN (1-D and native 2-D), min/max,
+// constrained k-NN, and pre-built candidate sets — with batches fanned
+// across the workers under dynamic load balancing. Results are returned in
+// request order and are bit-identical to running the same requests
+// sequentially through the executors: workers share nothing but the
+// read-only executors, and each query's arithmetic is unchanged.
 //
 // Besides ExecuteBatch, interactive callers can Submit single requests and
 // get a future back: an internal submission queue coalesces everything
@@ -22,12 +23,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <string>
-#include <string_view>
 #include <vector>
 
 #include "core/query.h"
 #include "core/query2d.h"
+#include "engine/engine.h"
 #include "engine/scratch.h"
 #include "engine/thread_pool.h"
 
@@ -35,181 +35,50 @@ namespace pverify {
 
 class SubmitQueue;
 
-/// Which query family a request runs.
-enum class QueryKind {
-  kPoint,       ///< C-PNN at a 1-D query point
-  kMin,         ///< minimum query (PNN with q = −∞)
-  kMax,         ///< maximum query (PNN with q = +∞)
-  kKnn,         ///< constrained probabilistic k-NN
-  kCandidates,  ///< C-PNN over a pre-built candidate set
-  kPoint2D,     ///< C-PNN at a 2-D query point (needs a 2-D dataset)
-};
-
-std::string_view ToString(QueryKind kind);
-
-/// One query to execute. Build with the factory helpers.
-///
-/// A kCandidates request CONSUMES its payload when it executes: the engine
-/// moves `candidates` out, so the same request cannot be re-submitted.
-/// Moving a QueryRequest transfers the payload and marks the moved-from
-/// source as consumed; re-submitting a consumed kCandidates request fails a
-/// PV_DCHECK in debug builds (release builds evaluate the now-empty set and
-/// return an empty result).
-struct QueryRequest {
-  QueryKind kind = QueryKind::kPoint;
-  double q = 0.0;  ///< query point (kPoint, kKnn)
-  Point2 q2;       ///< query point (kPoint2D)
-  int k = 2;       ///< neighbor count (kKnn)
-  QueryOptions options;
-  /// Payload for kCandidates; consumed when the request executes.
-  CandidateSet candidates;
-  /// Set once the payload has been moved out (meaningful for kCandidates
-  /// only; other kinds remain re-submittable after a move).
-  bool payload_consumed = false;
-
-  QueryRequest() = default;
-  QueryRequest(const QueryRequest&) = default;
-  QueryRequest& operator=(const QueryRequest&) = default;
-  QueryRequest(QueryRequest&& other) noexcept;
-  QueryRequest& operator=(QueryRequest&& other) noexcept;
-
-  static QueryRequest Point(double q, QueryOptions options = {});
-  static QueryRequest Point2D(pverify::Point2 q, QueryOptions options = {});
-  static QueryRequest Min(QueryOptions options = {});
-  static QueryRequest Max(QueryOptions options = {});
-  static QueryRequest Knn(double q, int k, QueryOptions options = {});
-  static QueryRequest Candidates(CandidateSet candidates,
-                                 QueryOptions options = {});
-};
-
-/// Result of one request, in the same shape regardless of kind.
-struct QueryResult {
-  /// IDs of objects satisfying the query, ascending.
-  std::vector<ObjectId> ids;
-  QueryStats stats;
-  /// Per-candidate bounds (kPoint/kMin/kMax/kCandidates when
-  /// options.report_probabilities is set).
-  std::vector<AnswerEntry> candidate_probabilities;
-  /// Full k-NN answer; engaged only for kKnn requests.
-  std::optional<CknnAnswer> knn;
-};
-
-/// Repackages a core QueryAnswer as an engine QueryResult.
-QueryResult ToQueryResult(QueryAnswer&& answer);
-
 struct EngineOptions {
   /// Worker threads; 0 means hardware concurrency.
   size_t num_threads = 0;
-  /// Radial-cdf resolution of the 2-D executor (kPoint2D requests).
+  /// Radial-cdf resolution of the 2-D executor (Point2DQuery requests).
   int radial_pieces = 64;
 };
 
-/// Aggregate outcome of one ExecuteBatch call.
-struct EngineStats {
-  size_t queries = 0;
-  size_t threads = 0;
-  double wall_ms = 0.0;  ///< end-to-end batch wall time
-  /// Per-phase totals accumulated over every query (QueryStats semantics).
-  QueryStats totals;
-
-  /// Verifier stage time/run totals aggregated by stage name, in chain
-  /// order of first appearance (reproduces the paper's Fig. 12 fractions
-  /// at engine level).
-  struct StageTotal {
-    std::string name;
-    double ms = 0.0;
-    size_t runs = 0;
-  };
-  std::vector<StageTotal> verifier_stages;
-
-  double QueriesPerSec() const {
-    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
-                         : 0.0;
-  }
-  double AvgQueryMs() const {
-    return queries > 0 ? totals.total_ms / static_cast<double>(queries) : 0.0;
-  }
-  /// Fraction of summed per-query time spent in a phase (filter / init /
-  /// verify / refine).
-  double PhaseFraction(double QueryStats::*phase) const {
-    return totals.total_ms > 0.0 ? totals.*phase / totals.total_ms : 0.0;
-  }
-};
-
-/// Folds one query's stats into an aggregate's verifier stage totals
-/// (matching stages by name, appending in order of first appearance).
-void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg);
-
-/// Folds one query's outcome (phase totals + verifier stages + query count)
-/// into a batch aggregate. wall_ms/threads are left to the caller.
-void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg);
-
-/// Merges per-part aggregates (e.g. one EngineStats per shard) into one:
-/// queries, phase totals and verifier stage totals sum exactly (stages
-/// matched by name, ordered by first appearance across parts); threads and
-/// wall_ms take the max, since parts run concurrently. Merging an empty
-/// vector yields a zero aggregate whose derived rates are all finite.
-EngineStats MergeEngineStats(const std::vector<EngineStats>& parts);
-
-/// One queued async request with the promise its future was minted from
-/// (shared between the engines and the SubmitQueue).
-struct PendingQuery {
-  QueryRequest request;
-  std::promise<QueryResult> promise;
-};
-
-/// Telemetry of an engine's async submission queue.
-struct SubmitQueueStats {
-  size_t requests = 0;       ///< total Submit calls
-  size_t batches = 0;        ///< dispatches to the worker pool
-  size_t max_coalesced = 0;  ///< largest single coalesced batch
-};
-
 /// Serves any number of queries over one dataset, sequentially or batched.
-/// ExecuteBatch is safe to call from one thread at a time; Execute and
-/// Submit may be called concurrently with everything (they serialize on
-/// internal state).
-class QueryEngine {
+/// See engine/engine.h for the interface contracts.
+class QueryEngine : public Engine {
  public:
   explicit QueryEngine(Dataset dataset, EngineOptions options = {});
-  /// 2-D-only engine: serves kPoint2D (and kCandidates) requests.
+  /// 2-D-only engine: serves Point2DQuery (and CandidatesQuery) requests.
   explicit QueryEngine(Dataset2D dataset, EngineOptions options = {});
   /// Dual-mode engine: one engine serving both workload shapes.
   QueryEngine(Dataset dataset, Dataset2D dataset2d,
               EngineOptions options = {});
-  ~QueryEngine();
+  ~QueryEngine() override;
 
   const CpnnExecutor& executor() const { return executor_; }
   /// The 2-D executor, or nullptr when the engine has no 2-D dataset.
   const CpnnExecutor2D* executor2d() const {
     return executor2d_.has_value() ? &*executor2d_ : nullptr;
   }
-  size_t num_threads() const { return num_threads_; }
+  size_t num_threads() const override { return num_threads_; }
 
-  /// Executes one request on the calling thread (no pool dispatch).
-  QueryResult Execute(QueryRequest request);
-
-  /// Executes a batch across the worker pool; results are in request
-  /// order. When `stats` is non-null it receives the batch aggregate.
+  QueryResult Execute(QueryRequest request) override;
   std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
-                                        EngineStats* stats = nullptr);
-
-  /// Non-blocking submission: queues the request and returns a future that
-  /// resolves to the same result Execute would produce. Requests submitted
-  /// while a previous coalesced batch is executing are batched together for
-  /// the worker pool. Thread-safe; serializes with ExecuteBatch.
-  std::future<QueryResult> Submit(QueryRequest request);
-
-  /// Submission-queue telemetry (zeros until the first Submit).
-  SubmitQueueStats SubmitStats() const;
-
-  /// Total queries served from the per-worker scratches (telemetry).
-  size_t ScratchQueriesServed() const;
-  /// Approximate heap footprint of all scratch arenas.
-  size_t ScratchBytes() const;
+                                        EngineStats* stats = nullptr) override;
+  std::future<QueryResult> Submit(QueryRequest request) override;
+  SubmitQueueStats SubmitStats() const override;
+  size_t ScratchQueriesServed() const override;
+  size_t ScratchBytes() const override;
 
  private:
   QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch) const;
+  /// Per-kind execution, one overload per variant alternative.
+  QueryResult Run(PointQuery&& q, QueryScratch* scratch) const;
+  QueryResult Run(MinQuery&& q, QueryScratch* scratch) const;
+  QueryResult Run(MaxQuery&& q, QueryScratch* scratch) const;
+  QueryResult Run(KnnQuery&& q, QueryScratch* scratch) const;
+  QueryResult Run(CandidatesQuery&& q, QueryScratch* scratch) const;
+  QueryResult Run(Point2DQuery&& q, QueryScratch* scratch) const;
+
   void RunSubmitted(std::vector<PendingQuery>& batch);
   /// Spawns the worker pool on first use. Callers must hold batch_mu_ —
   /// the pool is only ever driven from the batch paths, so engines that
@@ -219,7 +88,7 @@ class QueryEngine {
   SubmitQueue* EnsureSubmitQueue();
 
   CpnnExecutor executor_;
-  /// Engaged when the engine owns a 2-D dataset (kPoint2D requests).
+  /// Engaged when the engine owns a 2-D dataset (Point2DQuery requests).
   std::optional<CpnnExecutor2D> executor2d_;
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  ///< lazy; guarded by batch_mu_

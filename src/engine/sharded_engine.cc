@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "common/check.h"
 #include "common/timer.h"
@@ -16,7 +18,244 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// The gather currency: each shard's surviving (id, distance distribution)
+/// pairs, merged before the single verification pass.
+using Survivors = std::vector<std::pair<ObjectId, DistanceDistribution>>;
+
 }  // namespace
+
+// ------------------------------------------------------------------------
+// Scatter/gather policies. Each supplies the kind-specific pieces of the
+// one ScatterGather driver below:
+//
+//   using Local = ...;                 per-shard phase-1 result
+//   static bool HasData(shard)        does the shard participate at all
+//   double Phase0Cap(shards)          upper bound on the reachable cut
+//   double MinDist(shard)             bound checked against cap and cut
+//   Local LocalFilter(shard)          phase 1 (runs concurrently; const)
+//   double GlobalCut(locals)          exact global cut from the locals
+//   bool Survives(shard, cut)         phase-2 shard recheck
+//   void CollectSurvivors(shard, local, cut, out)
+//   QueryResult Finish(merged, scratch, filter_total, build_total, total)
+// ------------------------------------------------------------------------
+
+/// Point C-PNN scatter, generic over dimensionality. Phase 0: U := min over
+/// shards of MAXDIST(q, bounds) upper-bounds the global f_min (each shard's
+/// local f_min is at most its bounds MAXDIST), so a shard whose bounds
+/// MINDIST exceeds U can neither lower f_min nor hold a candidate. The
+/// global f_min is the min of the local ones (each local f_min is an exact
+/// min over that shard's entries), so the phase-2 per-object predicate
+/// reproduces the unsharded filter's cut bit for bit.
+template <int Dim>
+struct ShardedQueryEngine::PointScatterPolicy {
+  static_assert(Dim == 1 || Dim == 2, "point scatter is 1-D or 2-D");
+  using Point = std::conditional_t<Dim == 1, double, Point2>;
+  using Local = FilterResult;
+
+  const ShardedQueryEngine& engine;
+  Point q;
+  const QueryOptions& options;
+
+  static bool HasData(const Shard& shard) {
+    if constexpr (Dim == 1) {
+      return !shard.bounds.empty();
+    } else {
+      return !shard.bounds2d.empty();
+    }
+  }
+
+  double MinDist(const Shard& shard) const {
+    if constexpr (Dim == 1) {
+      return MbrMinDistToBounds(q, shard.bounds);
+    } else {
+      return MbrMinDistToBounds2D(q, shard.bounds2d);
+    }
+  }
+
+  double MaxDist(const Shard& shard) const {
+    if constexpr (Dim == 1) {
+      return MbrMaxDistToBounds(q, shard.bounds);
+    } else {
+      return MbrMaxDistToBounds2D(q, shard.bounds2d);
+    }
+  }
+
+  double Phase0Cap(const std::vector<Shard>& shards) const {
+    double cap = kInf;
+    for (const Shard& shard : shards) {
+      if (!HasData(shard)) continue;
+      cap = std::min(cap, MaxDist(shard));
+    }
+    return cap;
+  }
+
+  Local LocalFilter(const Shard& shard) const {
+    if constexpr (Dim == 1) {
+      return shard.engine->executor().Filter(q);
+    } else {
+      return shard.engine->executor2d()->Filter(q);
+    }
+  }
+
+  double GlobalCut(const std::vector<Local>& locals) const {
+    double fmin = kInf;
+    for (const Local& fr : locals) fmin = std::min(fmin, fr.fmin);
+    return fmin;
+  }
+
+  bool Survives(const Shard& shard, double cut) const {
+    return MinDist(shard) <= cut + kFilterBoundarySlack;
+  }
+
+  void CollectSurvivors(const Shard& shard, const Local& local, double cut,
+                        Survivors* out) const {
+    if constexpr (Dim == 1) {
+      const Dataset& objects = shard.engine->executor().dataset();
+      for (uint32_t idx : local.candidates) {
+        const UncertainObject& obj = objects[idx];
+        if (MakeInterval(obj.lo(), obj.hi()).MinDist({q}) <=
+            cut + kFilterBoundarySlack) {
+          out->emplace_back(obj.id(),
+                            DistanceDistribution::From1D(obj.pdf(), q));
+        }
+      }
+    } else {
+      const Dataset2D& objects = shard.engine->executor2d()->dataset();
+      for (uint32_t idx : local.candidates) {
+        const UncertainObject2D& obj = objects[idx];
+        if (obj.MinDist(q) <= cut + kFilterBoundarySlack) {
+          out->emplace_back(
+              obj.id(),
+              MakeDistanceDistribution2D(obj, q, engine.radial_pieces_));
+        }
+      }
+    }
+  }
+
+  QueryResult Finish(Survivors&& merged, QueryScratch* scratch,
+                     double filter_total, double build_total,
+                     const Timer& total) const {
+    // FromDistances re-sorts by (near point, id) — a total order — so the
+    // merge order is irrelevant and the set is identical to the unsharded
+    // CandidateSet::Build1D / Build2D result.
+    Timer gather_timer;
+    CandidateSet candidates = CandidateSet::FromDistances(std::move(merged));
+    const double gather_ms = gather_timer.ElapsedMs();
+
+    QueryAnswer answer =
+        ExecuteOnCandidates(std::move(candidates), options, scratch);
+    answer.stats.filter_ms = filter_total;
+    answer.stats.init_ms += build_total + gather_ms;
+    answer.stats.dataset_size =
+        Dim == 1 ? engine.total_objects_ : engine.total_objects2d_;
+    answer.stats.total_ms = total.ElapsedMs();
+    return ToQueryResult(std::move(answer));
+  }
+};
+
+/// Constrained k-NN scatter. Phase 0: walk shards by ascending bounds
+/// MAXDIST until they cover k objects; that MAXDIST upper-bounds the global
+/// k-th far point, so shards whose bounds MINDIST exceeds it hold none of
+/// the k smallest far points and no candidates. Phase 1 collects each
+/// shard's k smallest far points; their merge contains the k smallest
+/// global ones (each lives in its shard's local top-k), so the k-th order
+/// statistic of the merge equals the unsharded FilterKByScan's value
+/// exactly. Phase 2 scans survivors with the same per-object arithmetic
+/// FilterKByScan uses.
+struct ShardedQueryEngine::KnnScatterPolicy {
+  using Local = std::vector<double>;
+
+  const ShardedQueryEngine& engine;
+  double q;
+  int k;
+  const QueryOptions& options;
+  size_t want;
+  /// All shards' far points, merged by GlobalCut; empty means no objects
+  /// anywhere, so no shard survives.
+  std::vector<double> fars;
+
+  KnnScatterPolicy(const ShardedQueryEngine& engine, double q, int k,
+                   const QueryOptions& options)
+      : engine(engine),
+        q(q),
+        k(k),
+        options(options),
+        want(static_cast<size_t>(k)) {}
+
+  static bool HasData(const Shard& shard) { return !shard.bounds.empty(); }
+
+  double MinDist(const Shard& shard) const {
+    return IntervalMinDistToBounds(q, shard.bounds);
+  }
+
+  double Phase0Cap(const std::vector<Shard>& shards) const {
+    std::vector<std::pair<double, size_t>> caps;
+    caps.reserve(shards.size());
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (shards[i].bounds.empty()) continue;
+      caps.emplace_back(IntervalMaxDistToBounds(q, shards[i].bounds), i);
+    }
+    std::sort(caps.begin(), caps.end());
+    size_t covered = 0;
+    for (const std::pair<double, size_t>& cap : caps) {
+      covered += shards[cap.second].engine->executor().dataset().size();
+      if (covered >= want) return cap.first;
+    }
+    return kInf;
+  }
+
+  Local LocalFilter(const Shard& shard) const {
+    return SmallestFarPoints(shard.engine->executor().dataset(), q, want);
+  }
+
+  double GlobalCut(const std::vector<Local>& locals) {
+    for (const Local& part : locals) {
+      fars.insert(fars.end(), part.begin(), part.end());
+    }
+    if (fars.empty()) return 0.0;
+    const size_t kth = std::min(engine.total_objects_, want) - 1;
+    std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
+    return fars[kth];
+  }
+
+  bool Survives(const Shard& shard, double cut) const {
+    return !fars.empty() && MinDist(shard) <= cut + kFilterBoundarySlack;
+  }
+
+  void CollectSurvivors(const Shard& shard, const Local&, double cut,
+                        Survivors* out) const {
+    for (const UncertainObject& obj : shard.engine->executor().dataset()) {
+      if (obj.MinDist(q) <= cut + kFilterBoundarySlack) {
+        out->emplace_back(obj.id(),
+                          DistanceDistribution::From1D(obj.pdf(), q));
+      }
+    }
+  }
+
+  QueryResult Finish(Survivors&& merged, QueryScratch*, double filter_total,
+                     double build_total, const Timer& total) const {
+    // Rebuild the (order-normalized) candidate set with the k-aware
+    // pruning rule and evaluate the constrained k-NN once.
+    CandidateSet candidates =
+        CandidateSet::FromDistances(std::move(merged), k);
+    CknnAnswer answer =
+        EvaluateCknn(candidates, k, options.params, options.integration);
+
+    QueryResult result;
+    result.stats.total_ms = total.ElapsedMs();
+    result.stats.filter_ms = filter_total;
+    result.stats.init_ms = build_total;
+    result.stats.dataset_size = engine.total_objects_;
+    result.stats.candidates = answer.bounds.size();
+    result.ids = answer.ids;
+    result.knn = std::move(answer);
+    return result;
+  }
+};
+
+// ------------------------------------------------------------------------
+// Engine implementation.
+// ------------------------------------------------------------------------
 
 ShardedQueryEngine::ShardedQueryEngine(Dataset dataset,
                                        ShardedEngineOptions options)
@@ -212,35 +451,60 @@ QueryResult ShardedQueryEngine::ExecuteOne(QueryRequest&& request,
                                            QueryScratch* scratch,
                                            bool parallel_scatter,
                                            ScatterRecord* record) {
-  switch (request.kind) {
-    case QueryKind::kPoint:
-      return ExecutePoint(request.q, request.options, scratch,
-                          parallel_scatter, record);
-    case QueryKind::kMin:
-      // The global domain makes this bit-identical to the unsharded
-      // executor's virtual query point (per-shard domains would not be).
-      return ExecutePoint(domain_lo_ - 1.0, request.options, scratch,
-                          parallel_scatter, record);
-    case QueryKind::kMax:
-      return ExecutePoint(domain_hi_ + 1.0, request.options, scratch,
-                          parallel_scatter, record);
-    case QueryKind::kKnn:
-      return ExecuteKnn(request.q, request.k, request.options,
-                        parallel_scatter, record);
-    case QueryKind::kCandidates:
-      // A moved-from kCandidates request carries no payload; evaluating it
-      // would silently answer over an empty set.
-      PV_DCHECK(!request.payload_consumed);
-      // The payload already is the gathered candidate set — no scatter.
-      return ToQueryResult(ExecuteOnCandidates(std::move(request.candidates),
-                                               request.options, scratch));
-    case QueryKind::kPoint2D:
-      PV_CHECK_MSG(has_2d_,
-                   "kPoint2D request on an engine without a 2-D dataset");
-      return ExecutePoint2D(request.q2, request.options, scratch,
-                            parallel_scatter, record);
-  }
-  return QueryResult{};
+  return std::visit(
+      [&](auto&& payload) {
+        return Run(std::move(payload), scratch, parallel_scatter, record);
+      },
+      std::move(request.query));
+}
+
+QueryResult ShardedQueryEngine::Run(PointQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  PointScatterPolicy<1> policy{*this, q.q, q.options};
+  return ScatterGather(policy, scratch, parallel_scatter, record);
+}
+
+QueryResult ShardedQueryEngine::Run(MinQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  // The global domain makes this bit-identical to the unsharded executor's
+  // virtual query point (per-shard domains would not be).
+  PointScatterPolicy<1> policy{*this, domain_lo_ - 1.0, q.options};
+  return ScatterGather(policy, scratch, parallel_scatter, record);
+}
+
+QueryResult ShardedQueryEngine::Run(MaxQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  PointScatterPolicy<1> policy{*this, domain_hi_ + 1.0, q.options};
+  return ScatterGather(policy, scratch, parallel_scatter, record);
+}
+
+QueryResult ShardedQueryEngine::Run(KnnQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  PV_CHECK_MSG(q.k >= 1, "k must be positive");
+  KnnScatterPolicy policy(*this, q.q, q.k, q.options);
+  return ScatterGather(policy, scratch, parallel_scatter, record);
+}
+
+QueryResult ShardedQueryEngine::Run(CandidatesQuery&& q,
+                                    QueryScratch* scratch, bool,
+                                    ScatterRecord*) {
+  // The payload already is the gathered candidate set — no scatter.
+  // TakeCandidates throws on a consumed (re-submitted) request.
+  return ToQueryResult(
+      ExecuteOnCandidates(q.TakeCandidates(), q.options, scratch));
+}
+
+QueryResult ShardedQueryEngine::Run(Point2DQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  PV_CHECK_MSG(has_2d_,
+               "Point2DQuery on an engine without a 2-D dataset");
+  PointScatterPolicy<2> policy{*this, q.q, q.options};
+  return ScatterGather(policy, scratch, parallel_scatter, record);
 }
 
 void ShardedQueryEngine::ForEachIndex(bool parallel, size_t n,
@@ -252,77 +516,57 @@ void ShardedQueryEngine::ForEachIndex(bool parallel, size_t n,
   }
 }
 
-QueryResult ShardedQueryEngine::ExecutePoint(double q,
-                                             const QueryOptions& options,
-                                             QueryScratch* scratch,
-                                             bool parallel_scatter,
-                                             ScatterRecord* record) {
+template <typename Policy>
+QueryResult ShardedQueryEngine::ScatterGather(Policy& policy,
+                                              QueryScratch* scratch,
+                                              bool parallel_scatter,
+                                              ScatterRecord* record) {
   Timer total;
-  // Shard pruning, phase 0: U := min over shards of MAXDIST(q, bounds)
-  // upper-bounds the global f_min (each shard's local f_min is at most its
-  // bounds MAXDIST), so a shard whose bounds MINDIST exceeds U can neither
-  // lower f_min nor hold a candidate — skip it before any filtering.
-  double fmin_cap = kInf;
-  for (const Shard& shard : shards_) {
-    if (shard.bounds.empty()) continue;
-    fmin_cap = std::min(fmin_cap, MbrMaxDistToBounds(q, shard.bounds));
-  }
+  // Shard pruning, phase 0: shards whose bounds MINDIST exceeds the
+  // policy's reachable-cut cap cannot contribute — skip them before any
+  // filtering.
+  const double cap = policy.Phase0Cap(shards_);
   std::vector<size_t> eligible;
   size_t pruned = 0;
   for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].bounds.empty()) continue;
-    if (MbrMinDistToBounds(q, shards_[i].bounds) <=
-        fmin_cap + kFilterBoundarySlack) {
+    if (!Policy::HasData(shards_[i])) continue;
+    if (policy.MinDist(shards_[i]) <= cap + kFilterBoundarySlack) {
       eligible.push_back(i);
     } else {
       ++pruned;
     }
   }
 
-  // Scatter, phase 1: local filtering. The global f_min is the min of the
-  // local ones (each local f_min is an exact min over that shard's
-  // entries, so the min over shards equals the unsharded R-tree's value).
-  std::vector<FilterResult> filtered(eligible.size());
+  // Scatter, phase 1: the eligible shards' local filters.
+  std::vector<typename Policy::Local> locals(eligible.size());
   std::vector<double> filter_ms(eligible.size(), 0.0);
   ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
     Timer t;
-    filtered[j] = shards_[eligible[j]].engine->executor().Filter(q);
+    locals[j] = policy.LocalFilter(shards_[eligible[j]]);
     filter_ms[j] = t.ElapsedMs();
   });
-  double fmin = kInf;
-  for (const FilterResult& fr : filtered) fmin = std::min(fmin, fr.fmin);
+  // The exact global cut recovered from the locals (f_min for point
+  // queries, the k-th far point for k-NN).
+  const double cut = policy.GlobalCut(locals);
 
-  // Scatter, phase 2: shards surviving the now-exact f_min cut build
-  // (id, distance distribution) pairs for their survivors. The per-object
-  // predicate reproduces the unsharded filter's cut bit for bit.
-  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
-      eligible.size());
+  // Scatter, phase 2: shards surviving the now-exact cut build their
+  // survivors' (id, distance distribution) pairs.
+  std::vector<Survivors> parts(eligible.size());
   std::vector<double> build_ms(eligible.size(), 0.0);
   std::vector<char> contributed(eligible.size(), 0);
   ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
     const Shard& shard = shards_[eligible[j]];
-    if (MbrMinDistToBounds(q, shard.bounds) >
-        fmin + kFilterBoundarySlack) {
+    if (!policy.Survives(shard, cut)) {
       return;  // counted as pruned below
     }
     contributed[j] = 1;
     Timer t;
-    const Dataset& objects = shard.engine->executor().dataset();
-    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
-    for (uint32_t idx : filtered[j].candidates) {
-      const UncertainObject& obj = objects[idx];
-      if (MakeInterval(obj.lo(), obj.hi()).MinDist({q}) <=
-          fmin + kFilterBoundarySlack) {
-        out.emplace_back(obj.id(),
-                         DistanceDistribution::From1D(obj.pdf(), q));
-      }
-    }
+    policy.CollectSurvivors(shard, locals[j], cut, &parts[j]);
     build_ms[j] = t.ElapsedMs();
   });
 
-  // Gather: merge and verify once. FromDistances re-sorts by (near point,
-  // id) — a total order — so the merge order is irrelevant and the set is
-  // identical to the unsharded CandidateSet::Build1D result.
+  // Gather: merge the parts (order irrelevant — the candidate-set
+  // construction order-normalizes) and let the policy evaluate once.
   size_t visits = 0;
   size_t total_pairs = 0;
   for (size_t j = 0; j < eligible.size(); ++j) {
@@ -333,288 +577,19 @@ QueryResult ShardedQueryEngine::ExecutePoint(double q,
       ++pruned;
     }
   }
-  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
+  Survivors merged;
   merged.reserve(total_pairs);
-  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
+  for (Survivors& part : parts) {
     for (std::pair<ObjectId, DistanceDistribution>& item : part) {
       merged.push_back(std::move(item));
     }
   }
-  Timer gather_timer;
-  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged));
-  const double gather_ms = gather_timer.ElapsedMs();
-
-  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options,
-                                           scratch);
-  double filter_total = 0.0;
-  for (double ms : filter_ms) filter_total += ms;
-  double build_total = gather_ms;
-  for (double ms : build_ms) build_total += ms;
-  answer.stats.filter_ms = filter_total;
-  answer.stats.init_ms += build_total;
-  answer.stats.dataset_size = total_objects_;
-  answer.stats.total_ms = total.ElapsedMs();
-
-  shard_visits_.fetch_add(visits, std::memory_order_relaxed);
-  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
-  if (record != nullptr) {
-    record->visits += visits;
-    record->pruned += pruned;
-    for (size_t j = 0; j < eligible.size(); ++j) {
-      ShardContrib& contrib = record->shards[eligible[j]];
-      contrib.visited = true;
-      contrib.filter_ms += filter_ms[j];
-      contrib.init_ms += build_ms[j];
-      contrib.candidates += parts[j].size();
-    }
-  }
-  return ToQueryResult(std::move(answer));
-}
-
-QueryResult ShardedQueryEngine::ExecutePoint2D(Point2 q,
-                                               const QueryOptions& options,
-                                               QueryScratch* scratch,
-                                               bool parallel_scatter,
-                                               ScatterRecord* record) {
-  Timer total;
-  // Shard pruning, phase 0: U := min over shards of MAXDIST(q, Mbr) upper-
-  // bounds the global f_min (each shard's local f_min is at most its Mbr
-  // MAXDIST, since every region sits inside the shard Mbr), so a shard
-  // whose Mbr MINDIST exceeds U can neither lower f_min nor hold a
-  // candidate — skip it before any filtering.
-  double fmin_cap = kInf;
-  for (const Shard& shard : shards_) {
-    if (shard.bounds2d.empty()) continue;
-    fmin_cap = std::min(fmin_cap, MbrMaxDistToBounds2D(q, shard.bounds2d));
-  }
-  std::vector<size_t> eligible;
-  size_t pruned = 0;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].bounds2d.empty()) continue;
-    if (MbrMinDistToBounds2D(q, shards_[i].bounds2d) <=
-        fmin_cap + kFilterBoundarySlack) {
-      eligible.push_back(i);
-    } else {
-      ++pruned;
-    }
-  }
-
-  // Scatter, phase 1: local 2-D filtering. Each local f_min is the exact
-  // minimum of MaxDist over the shard's regions (PnnFilter2D refines its
-  // MBR bound with exact region distances), so the min over shards equals
-  // the unsharded filter's f_min bit for bit.
-  std::vector<FilterResult> filtered(eligible.size());
-  std::vector<double> filter_ms(eligible.size(), 0.0);
-  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
-    Timer t;
-    filtered[j] =
-        shards_[eligible[j]].engine->executor2d()->Filter(q);
-    filter_ms[j] = t.ElapsedMs();
-  });
-  double fmin = kInf;
-  for (const FilterResult& fr : filtered) fmin = std::min(fmin, fr.fmin);
-
-  // Scatter, phase 2: shards surviving the now-exact f_min cut build
-  // (id, radial-cdf distance distribution) pairs for their survivors. The
-  // per-object predicate and the distribution arithmetic reproduce the
-  // unsharded 2-D pipeline exactly.
-  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
-      eligible.size());
-  std::vector<double> build_ms(eligible.size(), 0.0);
-  std::vector<char> contributed(eligible.size(), 0);
-  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
-    const Shard& shard = shards_[eligible[j]];
-    if (MbrMinDistToBounds2D(q, shard.bounds2d) >
-        fmin + kFilterBoundarySlack) {
-      return;  // counted as pruned below
-    }
-    contributed[j] = 1;
-    Timer t;
-    const Dataset2D& objects = shard.engine->executor2d()->dataset();
-    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
-    for (uint32_t idx : filtered[j].candidates) {
-      const UncertainObject2D& obj = objects[idx];
-      if (obj.MinDist(q) <= fmin + kFilterBoundarySlack) {
-        out.emplace_back(obj.id(),
-                         MakeDistanceDistribution2D(obj, q, radial_pieces_));
-      }
-    }
-    build_ms[j] = t.ElapsedMs();
-  });
-
-  // Gather: merge and verify once. FromDistances re-sorts by (near point,
-  // id) — a total order — so the merge order is irrelevant and the set is
-  // identical to the unsharded CandidateSet::Build2D result.
-  size_t visits = 0;
-  size_t total_pairs = 0;
-  for (size_t j = 0; j < eligible.size(); ++j) {
-    if (contributed[j]) {
-      ++visits;
-      total_pairs += parts[j].size();
-    } else {
-      ++pruned;
-    }
-  }
-  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
-  merged.reserve(total_pairs);
-  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
-    for (std::pair<ObjectId, DistanceDistribution>& item : part) {
-      merged.push_back(std::move(item));
-    }
-  }
-  Timer gather_timer;
-  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged));
-  const double gather_ms = gather_timer.ElapsedMs();
-
-  QueryAnswer answer = ExecuteOnCandidates(std::move(candidates), options,
-                                           scratch);
-  double filter_total = 0.0;
-  for (double ms : filter_ms) filter_total += ms;
-  double build_total = gather_ms;
-  for (double ms : build_ms) build_total += ms;
-  answer.stats.filter_ms = filter_total;
-  answer.stats.init_ms += build_total;
-  answer.stats.dataset_size = total_objects2d_;
-  answer.stats.total_ms = total.ElapsedMs();
-
-  shard_visits_.fetch_add(visits, std::memory_order_relaxed);
-  shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);
-  if (record != nullptr) {
-    record->visits += visits;
-    record->pruned += pruned;
-    for (size_t j = 0; j < eligible.size(); ++j) {
-      ShardContrib& contrib = record->shards[eligible[j]];
-      contrib.visited = true;
-      contrib.filter_ms += filter_ms[j];
-      contrib.init_ms += build_ms[j];
-      contrib.candidates += parts[j].size();
-    }
-  }
-  return ToQueryResult(std::move(answer));
-}
-
-QueryResult ShardedQueryEngine::ExecuteKnn(double q, int k,
-                                           const QueryOptions& options,
-                                           bool parallel_scatter,
-                                           ScatterRecord* record) {
-  PV_CHECK_MSG(k >= 1, "k must be positive");
-  Timer total;
-  const size_t want = static_cast<size_t>(k);
-
-  // Shard pruning, phase 0: walk shards by ascending bounds MAXDIST until
-  // they cover k objects; that MAXDIST upper-bounds the global k-th far
-  // point, so shards whose bounds MINDIST exceeds it hold none of the k
-  // smallest far points and no candidates.
-  std::vector<std::pair<double, size_t>> caps;
-  caps.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].bounds.empty()) continue;
-    caps.emplace_back(IntervalMaxDistToBounds(q, shards_[i].bounds), i);
-  }
-  std::sort(caps.begin(), caps.end());
-  double fk_cap = kInf;
-  size_t covered = 0;
-  for (const std::pair<double, size_t>& cap : caps) {
-    covered += shards_[cap.second].engine->executor().dataset().size();
-    if (covered >= want) {
-      fk_cap = cap.first;
-      break;
-    }
-  }
-  std::vector<size_t> eligible;
-  size_t pruned = 0;
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (shards_[i].bounds.empty()) continue;
-    if (IntervalMinDistToBounds(q, shards_[i].bounds) <=
-        fk_cap + kFilterBoundarySlack) {
-      eligible.push_back(i);
-    } else {
-      ++pruned;
-    }
-  }
-
-  // Scatter, phase 1: per-shard k smallest far points. Their merge
-  // contains the k smallest global far points (each lives in its shard's
-  // local top-k), so the k-th order statistic of the merge equals the
-  // unsharded FilterKByScan's value exactly.
-  std::vector<std::vector<double>> far_parts(eligible.size());
-  std::vector<double> filter_ms(eligible.size(), 0.0);
-  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
-    Timer t;
-    far_parts[j] = SmallestFarPoints(
-        shards_[eligible[j]].engine->executor().dataset(), q, want);
-    filter_ms[j] = t.ElapsedMs();
-  });
-  std::vector<double> fars;
-  for (const std::vector<double>& part : far_parts) {
-    fars.insert(fars.end(), part.begin(), part.end());
-  }
-  double fk = 0.0;
-  if (!fars.empty()) {
-    const size_t kth = std::min(total_objects_, want) - 1;
-    std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
-    fk = fars[kth];
-  }
-
-  // Scatter, phase 2: survivors at the exact global k-th far point, with
-  // the same per-object arithmetic FilterKByScan uses.
-  std::vector<std::vector<std::pair<ObjectId, DistanceDistribution>>> parts(
-      eligible.size());
-  std::vector<double> build_ms(eligible.size(), 0.0);
-  std::vector<char> contributed(eligible.size(), 0);
-  ForEachIndex(parallel_scatter, eligible.size(), [&](size_t j) {
-    const Shard& shard = shards_[eligible[j]];
-    if (fars.empty() || IntervalMinDistToBounds(q, shard.bounds) >
-                            fk + kFilterBoundarySlack) {
-      return;
-    }
-    contributed[j] = 1;
-    Timer t;
-    std::vector<std::pair<ObjectId, DistanceDistribution>>& out = parts[j];
-    for (const UncertainObject& obj : shard.engine->executor().dataset()) {
-      if (obj.MinDist(q) <= fk + kFilterBoundarySlack) {
-        out.emplace_back(obj.id(),
-                         DistanceDistribution::From1D(obj.pdf(), q));
-      }
-    }
-    build_ms[j] = t.ElapsedMs();
-  });
-
-  // Gather: merge, rebuild the (order-normalized) candidate set with the
-  // k-aware pruning rule, and evaluate the constrained k-NN once.
-  size_t visits = 0;
-  size_t total_pairs = 0;
-  for (size_t j = 0; j < eligible.size(); ++j) {
-    if (contributed[j]) {
-      ++visits;
-      total_pairs += parts[j].size();
-    } else {
-      ++pruned;
-    }
-  }
-  std::vector<std::pair<ObjectId, DistanceDistribution>> merged;
-  merged.reserve(total_pairs);
-  for (std::vector<std::pair<ObjectId, DistanceDistribution>>& part : parts) {
-    for (std::pair<ObjectId, DistanceDistribution>& item : part) {
-      merged.push_back(std::move(item));
-    }
-  }
-  CandidateSet candidates = CandidateSet::FromDistances(std::move(merged), k);
-  CknnAnswer answer =
-      EvaluateCknn(candidates, k, options.params, options.integration);
-
-  QueryResult result;
-  result.stats.total_ms = total.ElapsedMs();
   double filter_total = 0.0;
   for (double ms : filter_ms) filter_total += ms;
   double build_total = 0.0;
   for (double ms : build_ms) build_total += ms;
-  result.stats.filter_ms = filter_total;
-  result.stats.init_ms = build_total;
-  result.stats.dataset_size = total_objects_;
-  result.stats.candidates = answer.bounds.size();
-  result.ids = answer.ids;
-  result.knn = std::move(answer);
+  QueryResult result = policy.Finish(std::move(merged), scratch,
+                                     filter_total, build_total, total);
 
   shard_visits_.fetch_add(visits, std::memory_order_relaxed);
   shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);

@@ -3,25 +3,31 @@
 // A ShardedQueryEngine partitions one Dataset (1-D intervals, 2-D regions,
 // or both) across N QueryEngine shards (hash or range on the object domain,
 // pluggable via ShardingPolicy) so filtering and candidate construction
-// scale past one R-tree. Each request is scattered only to the shards that
-// can contribute candidates — per-shard domain bounds prune the rest
-// exactly: 1-D interval bounds for kPoint/kMin/kMax/kKnn, 2-D Mbr bounds
-// for kPoint2D (see spatial/bounds.h) — and the per-shard answers are
+// scale past one R-tree. It is the scatter/gather implementation of the
+// pverify::Engine interface: each request is scattered only to the shards
+// that can contribute candidates — per-shard domain bounds prune the rest
+// exactly: 1-D interval bounds for point/min/max/k-NN, 2-D Mbr bounds for
+// Point2DQuery (see spatial/bounds.h) — and the per-shard answers are
 // gathered back into the same QueryResult shape the unsharded engine
 // produces.
 //
+// Every request kind runs through ONE scatter/gather driver
+// (ScatterGather): phase 0 caps the reachable distance per shard and prunes
+// by bounds, phase 1 runs the shards' local filters, the exact global cut
+// is recovered from the local results, phase 2 rechecks each surviving
+// shard's objects against that cut and builds their distance
+// distributions, and the gather merges the survivors and evaluates once.
+// The point (1-D), point (2-D) and k-NN paths are policy instantiations of
+// that driver, differing only in bounds metric, local filter and final
+// evaluation — not in scatter/gather structure.
+//
 // Exactness: a PNN qualification probability depends on EVERY candidate
 // jointly (the Π(1 − D_k) term), so shards cannot verify independently.
-// The scatter phase therefore collects each shard's filter survivors and
-// distance distributions; the gather phase merges them into one
-// CandidateSet — whose construction order-normalizes by (near point, id),
-// making the merge order irrelevant — and runs verification/refinement once
-// on the merged set. Answers (ids, probability bounds, k-NN answers) are
+// The gather phase merges the shards' survivors into one CandidateSet —
+// whose construction order-normalizes by (near point, id), making the
+// merge order irrelevant — and runs verification/refinement once on the
+// merged set. Answers (ids, probability bounds, k-NN answers) are
 // bit-identical to the unsharded QueryEngine; only timings differ.
-//
-// Like QueryEngine, the sharded engine offers blocking Execute/ExecuteBatch
-// and an async Submit(request) -> future path whose submission queue
-// coalesces in-flight requests into batches for the worker pool.
 #ifndef PVERIFY_ENGINE_SHARDED_ENGINE_H_
 #define PVERIFY_ENGINE_SHARDED_ENGINE_H_
 
@@ -46,7 +52,7 @@ struct ShardedEngineOptions {
   /// Scatter/gather worker threads; 0 means hardware concurrency. Shard
   /// engines themselves run single-threaded — parallelism lives here.
   size_t num_threads = 0;
-  /// Radial-cdf resolution of the 2-D pipeline (kPoint2D requests).
+  /// Radial-cdf resolution of the 2-D pipeline (Point2DQuery requests).
   int radial_pieces = 64;
 };
 
@@ -67,21 +73,21 @@ struct ShardedBatchStats {
 /// Serves queries over a dataset partitioned across N QueryEngine shards.
 /// Same concurrency contract as QueryEngine: ExecuteBatch from one thread
 /// at a time; Execute and Submit from anywhere.
-class ShardedQueryEngine {
+class ShardedQueryEngine : public Engine {
  public:
   explicit ShardedQueryEngine(Dataset dataset,
                               ShardedEngineOptions options = {});
   /// 2-D engine: partitions a Dataset2D via ShardingPolicy::ShardOf2D and
-  /// serves kPoint2D requests with Mbr-based shard pruning.
+  /// serves Point2DQuery requests with Mbr-based shard pruning.
   explicit ShardedQueryEngine(Dataset2D dataset,
                               ShardedEngineOptions options = {});
   /// Dual-mode engine: both datasets partitioned by the same policy.
   ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
                      ShardedEngineOptions options = {});
-  ~ShardedQueryEngine();
+  ~ShardedQueryEngine() override;
 
   size_t num_shards() const { return shards_.size(); }
-  size_t num_threads() const { return pool_.size(); }
+  size_t num_threads() const override { return pool_.size(); }
   size_t total_objects() const { return total_objects_; }
   const ShardingPolicy& policy() const { return *policy_; }
   /// The i-th shard's engine (its dataset is the i-th partition).
@@ -98,28 +104,26 @@ class ShardedQueryEngine {
 
   /// Executes one request, scattering across shards in parallel on the
   /// worker pool. Results match QueryEngine::Execute bit for bit.
-  QueryResult Execute(QueryRequest request);
+  QueryResult Execute(QueryRequest request) override;
 
   /// Executes a batch: requests fan out across the worker pool, each
   /// scattering over the shards it needs. Results are in request order.
   std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
-                                        EngineStats* stats = nullptr);
+                                        EngineStats* stats = nullptr) override;
   std::vector<QueryResult> ExecuteBatch(std::vector<QueryRequest> requests,
                                         ShardedBatchStats* stats);
 
   /// Non-blocking submission with coalescing, as QueryEngine::Submit.
-  std::future<QueryResult> Submit(QueryRequest request);
-  SubmitQueueStats SubmitStats() const;
+  std::future<QueryResult> Submit(QueryRequest request) override;
+  SubmitQueueStats SubmitStats() const override;
 
   /// Lifetime telemetry: scatter executions reaching a shard vs. skipped
   /// outright by its domain bounds.
   size_t ShardVisits() const;
   size_t ShardsPruned() const;
 
-  /// Total queries served from the gather-side scratches (telemetry).
-  size_t ScratchQueriesServed() const;
-  /// Approximate heap footprint of all gather-side scratch arenas.
-  size_t ScratchBytes() const;
+  size_t ScratchQueriesServed() const override;
+  size_t ScratchBytes() const override;
 
  private:
   struct Shard {
@@ -140,23 +144,46 @@ class ShardedQueryEngine {
     size_t pruned = 0;                 ///< shards skipped via bounds
   };
 
+  /// Scatter/gather policies instantiating the one driver below: point
+  /// C-PNN generic over dimensionality, and constrained k-NN. Defined in
+  /// the .cc (every instantiation lives there).
+  template <int Dim>
+  struct PointScatterPolicy;
+  struct KnnScatterPolicy;
+
   /// Shared constructor body; `serve_2d` distinguishes "no 2-D dataset"
-  /// (kPoint2D throws, like the 1-D-only QueryEngine) from "2-D dataset
-  /// that happens to be empty" (kPoint2D answers empty, like the unsharded
-  /// 2-D engine).
+  /// (Point2DQuery throws, like the 1-D-only QueryEngine) from "2-D
+  /// dataset that happens to be empty" (Point2DQuery answers empty, like
+  /// the unsharded 2-D engine).
   ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
                      ShardedEngineOptions options, bool serve_2d);
 
   QueryResult ExecuteOne(QueryRequest&& request, QueryScratch* scratch,
                          bool parallel_scatter, ScatterRecord* record);
-  QueryResult ExecutePoint(double q, const QueryOptions& options,
-                           QueryScratch* scratch, bool parallel_scatter,
-                           ScatterRecord* record);
-  QueryResult ExecutePoint2D(Point2 q, const QueryOptions& options,
-                             QueryScratch* scratch, bool parallel_scatter,
-                             ScatterRecord* record);
-  QueryResult ExecuteKnn(double q, int k, const QueryOptions& options,
-                         bool parallel_scatter, ScatterRecord* record);
+  /// Per-kind dispatch, one overload per variant alternative; each builds
+  /// its policy and runs the one ScatterGather driver (CandidatesQuery is
+  /// the exception: its payload already is the gathered set).
+  QueryResult Run(PointQuery&& q, QueryScratch* scratch,
+                  bool parallel_scatter, ScatterRecord* record);
+  QueryResult Run(MinQuery&& q, QueryScratch* scratch, bool parallel_scatter,
+                  ScatterRecord* record);
+  QueryResult Run(MaxQuery&& q, QueryScratch* scratch, bool parallel_scatter,
+                  ScatterRecord* record);
+  QueryResult Run(KnnQuery&& q, QueryScratch* scratch, bool parallel_scatter,
+                  ScatterRecord* record);
+  QueryResult Run(CandidatesQuery&& q, QueryScratch* scratch,
+                  bool parallel_scatter, ScatterRecord* record);
+  QueryResult Run(Point2DQuery&& q, QueryScratch* scratch,
+                  bool parallel_scatter, ScatterRecord* record);
+
+  /// THE scatter/gather driver — the only place the phase-0 cap → local
+  /// filter → exact global recheck → merge skeleton exists. `policy`
+  /// supplies the kind-specific pieces (bounds metric, local filter,
+  /// global cut, survivor construction, final evaluation).
+  template <typename Policy>
+  QueryResult ScatterGather(Policy& policy, QueryScratch* scratch,
+                            bool parallel_scatter, ScatterRecord* record);
+
   /// Runs fn(i) for i in [0, n), on the pool when parallel.
   void ForEachIndex(bool parallel, size_t n,
                     const std::function<void(size_t)>& fn);
@@ -173,7 +200,7 @@ class ShardedQueryEngine {
   bool has_2d_ = false;
   int radial_pieces_ = 64;
   /// Global domain endpoints (same accumulation as the unsharded executor,
-  /// so kMin/kMax evaluate at bit-identical virtual query points).
+  /// so min/max queries evaluate at bit-identical virtual query points).
   double domain_lo_ = 0.0;
   double domain_hi_ = 0.0;
 

@@ -23,7 +23,7 @@
 #include <thread>
 #include <vector>
 
-#include "engine/query_engine.h"
+#include "engine/engine.h"
 
 namespace pverify {
 

@@ -1,5 +1,7 @@
 #include "datagen/synthetic.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "datagen/workload.h"
@@ -102,6 +104,60 @@ TEST(Synthetic2DTest, RegionsInsideDomain) {
   }
   EXPECT_GT(circles, 50u);
   EXPECT_LT(circles, 250u);
+}
+
+TEST(Synthetic2DClusteredTest, ObjectsConcentrateAroundDiagonalCenters) {
+  datagen::Synthetic2DClusteredConfig config;
+  config.count = 400;
+  config.domain = 10000.0;
+  config.num_clusters = 4;
+  config.cluster_stddev = 150.0;
+  Dataset2D data = datagen::MakeSynthetic2DClustered(config);
+  ASSERT_EQ(data.size(), 400u);
+
+  // Default centers sit at domain*(i+0.5)/4 on the diagonal. Every object
+  // must lie within a few stddevs of SOME center (clamped to the domain),
+  // i.e. the scatter is genuinely clustered, not uniform.
+  const double centers[] = {1250.0, 3750.0, 6250.0, 8750.0};
+  size_t ids = 0;
+  for (const UncertainObject2D& obj : data) {
+    EXPECT_EQ(obj.id(), static_cast<ObjectId>(ids++));
+    EXPECT_GT(obj.Area(), 0.0);
+    double best = 1e18;
+    for (double c : centers) {
+      best = std::min(best, obj.MinDist({c, c}));
+    }
+    // 6 stddevs of center noise plus the largest extent.
+    EXPECT_LT(best, 6.0 * config.cluster_stddev + config.max_extent)
+        << "object " << obj.id() << " is not near any cluster";
+  }
+
+  // Deterministic per seed, different across seeds.
+  Dataset2D again = datagen::MakeSynthetic2DClustered(config);
+  ASSERT_EQ(again.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(data[i].MinDist({0.0, 0.0}), again[i].MinDist({0.0, 0.0}));
+  }
+  config.seed += 1;
+  Dataset2D other = datagen::MakeSynthetic2DClustered(config);
+  bool all_equal = true;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i].MinDist({0.0, 0.0}) != other[i].MinDist({0.0, 0.0})) {
+      all_equal = false;
+      break;
+    }
+  }
+  EXPECT_FALSE(all_equal);
+
+  // Explicit centers are honored.
+  datagen::Synthetic2DClusteredConfig pinned = config;
+  pinned.centers = {{100.0, 9000.0}};
+  pinned.cluster_stddev = 10.0;
+  Dataset2D one_cluster = datagen::MakeSynthetic2DClustered(pinned);
+  for (const UncertainObject2D& obj : one_cluster) {
+    EXPECT_LT(obj.MinDist({100.0, 9000.0}),
+              6.0 * pinned.cluster_stddev + pinned.max_extent);
+  }
 }
 
 TEST(WorkloadTest, QueryPointsInRange) {

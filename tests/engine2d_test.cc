@@ -29,26 +29,19 @@ Dataset2D TestDataset2D(size_t count = 300, uint64_t seed = 21) {
   return datagen::MakeSynthetic2D(config);
 }
 
-// Well-separated clusters along the diagonal: range (x-stripe) sharding
+// Well-separated Gaussian clusters along the diagonal (the datagen
+// clustered generator's default placement): range (x-stripe) sharding
 // keeps each cluster in its own shard, so bounds-based pruning has teeth.
-Dataset2D ClusteredDataset2D(size_t per_cluster = 40) {
-  Dataset2D data;
-  ObjectId id = 0;
-  Rng rng(77);
-  for (double center : {500.0, 3500.0, 6500.0, 9500.0}) {
-    for (size_t i = 0; i < per_cluster; ++i) {
-      double cx = center + rng.Uniform(-150.0, 150.0);
-      double cy = center + rng.Uniform(-150.0, 150.0);
-      double ext = rng.Uniform(1.0, 12.0);
-      if (rng.Bernoulli(0.5)) {
-        data.emplace_back(id++, Circle2{cx, cy, 0.5 * ext});
-      } else {
-        data.emplace_back(id++, Rect2{cx - 0.5 * ext, cy - 0.5 * ext,
-                                      cx + 0.5 * ext, cy + 0.5 * ext});
-      }
-    }
-  }
-  return data;
+Dataset2D ClusteredDataset2D() {
+  datagen::Synthetic2DClusteredConfig config;
+  config.count = 160;
+  config.domain = 10000.0;
+  config.num_clusters = 4;
+  config.cluster_stddev = 150.0;
+  config.mean_extent = 4.0;
+  config.max_extent = 12.0;
+  config.seed = 77;
+  return datagen::MakeSynthetic2DClustered(config);
 }
 
 QueryOptions OptionsFor(Strategy strategy) {
@@ -101,7 +94,7 @@ TEST(Engine2DTest, BatchedPoint2DBitIdenticalToExecutorAllStrategies) {
                             Strategy::kVR, Strategy::kMonteCarlo}) {
     QueryOptions opt = OptionsFor(strategy);
     std::vector<QueryRequest> batch;
-    for (Point2 p : points) batch.push_back(QueryRequest::Point2D(p, opt));
+    for (Point2 p : points) batch.push_back(Point2DQuery{p, opt});
     std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
     ASSERT_EQ(results.size(), points.size());
     for (size_t i = 0; i < points.size(); ++i) {
@@ -123,14 +116,14 @@ TEST(Engine2DTest, SubmitAndSerialExecuteMatchExecutor) {
       datagen::MakeQueryPoints2D(8, 0.0, 1000.0, /*seed=*/17);
   std::vector<std::future<QueryResult>> futures;
   for (Point2 p : points) {
-    futures.push_back(engine.Submit(QueryRequest::Point2D(p, opt)));
+    futures.push_back(engine.Submit(Point2DQuery{p, opt}));
   }
   for (size_t i = 0; i < points.size(); ++i) {
     ExpectIdentical(sequential.Execute(points[i], opt),
                     futures[i].get(), "submit " + std::to_string(i));
   }
   ExpectIdentical(sequential.Execute(points[0], opt),
-                  engine.Execute(QueryRequest::Point2D(points[0], opt)),
+                  engine.Execute(Point2DQuery{points[0], opt}),
                   "serial execute");
 }
 
@@ -143,10 +136,10 @@ TEST(Engine2DTest, DualModeEngineServesMixedBatches) {
 
   QueryOptions opt = OptionsFor(Strategy::kVR);
   std::vector<QueryRequest> batch;
-  batch.push_back(QueryRequest::Point(125.0, opt));
-  batch.push_back(QueryRequest::Point2D({500.0, 500.0}, opt));
-  batch.push_back(QueryRequest::Min(opt));
-  batch.push_back(QueryRequest::Point2D({120.0, 880.0}, opt));
+  batch.push_back(PointQuery{125.0, opt});
+  batch.push_back(Point2DQuery{{500.0, 500.0}, opt});
+  batch.push_back(MinQuery{opt});
+  batch.push_back(Point2DQuery{{120.0, 880.0}, opt});
   std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
   ASSERT_EQ(results.size(), 4u);
   ExpectIdentical(ref1d.Execute(125.0, opt), results[0], "1-D point");
@@ -163,11 +156,11 @@ TEST(Engine2DTest, Point2DWithoutDatasetThrows) {
 
   QueryEngine engine(data1d, EngineOptions{1});
   EXPECT_EQ(engine.executor2d(), nullptr);
-  EXPECT_THROW(engine.Execute(QueryRequest::Point2D({1.0, 1.0}, opt)),
+  EXPECT_THROW(engine.Execute(Point2DQuery{{1.0, 1.0}, opt}),
                std::logic_error);
 
   ShardedQueryEngine sharded(data1d, ShardedEngineOptions{2, nullptr, 2});
-  EXPECT_THROW(sharded.Execute(QueryRequest::Point2D({1.0, 1.0}, opt)),
+  EXPECT_THROW(sharded.Execute(Point2DQuery{{1.0, 1.0}, opt}),
                std::logic_error);
 }
 
@@ -176,22 +169,22 @@ TEST(Engine2DTest, Point2DWithoutDatasetThrows) {
 TEST(Engine2DTest, EmptyDataset2DServesEmptyAnswersConsistently) {
   Dataset data1d = datagen::MakeUniformScatter(50, 100.0, 2.0, /*seed=*/4);
   QueryOptions opt = OptionsFor(Strategy::kVR);
-  QueryRequest request = QueryRequest::Point2D({1.0, 1.0}, opt);
+  auto request = [&] { return QueryRequest(Point2DQuery{{1.0, 1.0}, opt}); };
 
   QueryEngine unsharded(Dataset2D{}, EngineOptions{1});
-  QueryResult expected = unsharded.Execute(request);
+  QueryResult expected = unsharded.Execute(request());
   EXPECT_TRUE(expected.ids.empty());
   EXPECT_EQ(expected.stats.candidates, 0u);
 
   QueryEngine dual(data1d, Dataset2D{}, EngineOptions{1});
-  ExpectIdentical(expected, dual.Execute(request), "dual unsharded");
+  ExpectIdentical(expected, dual.Execute(request()), "dual unsharded");
 
   ShardedQueryEngine sharded(Dataset2D{}, ShardedEngineOptions{2, nullptr, 2});
-  ExpectIdentical(expected, sharded.Execute(request), "sharded 2-D");
+  ExpectIdentical(expected, sharded.Execute(request()), "sharded 2-D");
 
   ShardedQueryEngine sharded_dual(data1d, Dataset2D{},
                                   ShardedEngineOptions{2, nullptr, 2});
-  ExpectIdentical(expected, sharded_dual.Execute(request),
+  ExpectIdentical(expected, sharded_dual.Execute(request()),
                   "sharded dual");
 }
 
@@ -210,7 +203,7 @@ TEST(Engine2DTest, ShardedGatherDoesNotGrowScratchUnboundedly) {
 
   auto run_batch = [&] {
     std::vector<QueryRequest> batch;
-    for (Point2 p : points) batch.push_back(QueryRequest::Point2D(p, opt));
+    for (Point2 p : points) batch.push_back(Point2DQuery{p, opt});
     std::vector<QueryResult> results = sharded.ExecuteBatch(std::move(batch));
     ASSERT_EQ(results.size(), points.size());
   };
@@ -238,7 +231,7 @@ TEST(Engine2DTest, ShardedPoint2DBitIdenticalAcrossShardCountsAndPolicies) {
 
     QueryEngine reference(data, EngineOptions{2});
     std::vector<QueryRequest> ref_batch;
-    for (Point2 p : points) ref_batch.push_back(QueryRequest::Point2D(p, opt));
+    for (Point2 p : points) ref_batch.push_back(Point2DQuery{p, opt});
     std::vector<QueryResult> expected =
         reference.ExecuteBatch(std::move(ref_batch));
 
@@ -252,7 +245,7 @@ TEST(Engine2DTest, ShardedPoint2DBitIdenticalAcrossShardCountsAndPolicies) {
         ASSERT_EQ(sharded.num_shards(), shards);
 
         std::vector<QueryRequest> batch;
-        for (Point2 p : points) batch.push_back(QueryRequest::Point2D(p, opt));
+        for (Point2 p : points) batch.push_back(Point2DQuery{p, opt});
         std::vector<QueryResult> got = sharded.ExecuteBatch(std::move(batch));
         ASSERT_EQ(expected.size(), got.size());
         for (size_t i = 0; i < expected.size(); ++i) {
@@ -263,11 +256,11 @@ TEST(Engine2DTest, ShardedPoint2DBitIdenticalAcrossShardCountsAndPolicies) {
             std::to_string(i));
         }
         // Single Execute and async Submit run the same scatter/gather.
-        ExpectIdentical(
-      expected[0], sharded.Execute(QueryRequest::Point2D(points[0], opt)),
-      "single execute");
+        ExpectIdentical(expected[0],
+                        sharded.Execute(Point2DQuery{points[0], opt}),
+                        "single execute");
         std::future<QueryResult> f =
-            sharded.Submit(QueryRequest::Point2D(points[1], opt));
+            sharded.Submit(Point2DQuery{points[1], opt});
         ExpectIdentical(expected[1], f.get(), "async submit");
       }
     }
@@ -284,13 +277,14 @@ TEST(Engine2DTest, RangeSharding2DPrunesDistantShards) {
   QueryEngine reference(data, EngineOptions{1});
 
   const QueryOptions opt = OptionsFor(Strategy::kVR);
-  // Queries inside the clusters: each should touch its own neighborhood
+  // Queries inside the clusters (the generator places them at 1250, 3750,
+  // 6250, 8750 on the diagonal): each should touch its own neighborhood
   // only, not every shard.
-  std::vector<Point2> points = {{480.0, 520.0}, {3520.0, 3480.0},
-                                {6510.0, 6490.0}, {9480.0, 9520.0}};
+  std::vector<Point2> points = {{1230.0, 1270.0}, {3770.0, 3730.0},
+                                {6260.0, 6240.0}, {8730.0, 8770.0}};
   for (Point2 p : points) {
-    ExpectIdentical(reference.Execute(QueryRequest::Point2D(p, opt)),
-                    sharded.Execute(QueryRequest::Point2D(p, opt)),
+    ExpectIdentical(reference.Execute(Point2DQuery{p, opt}),
+                    sharded.Execute(Point2DQuery{p, opt}),
                     "pruned 2-D point query");
   }
   EXPECT_GT(sharded.ShardsPruned(), 0u);
@@ -404,7 +398,7 @@ TEST(Engine2DTest, HundredQuery2DBatchReachesStableScratchFootprint) {
   auto run_batch = [&] {
     std::vector<QueryRequest> batch;
     batch.reserve(points.size());
-    for (Point2 p : points) batch.push_back(QueryRequest::Point2D(p, opt));
+    for (Point2 p : points) batch.push_back(Point2DQuery{p, opt});
     std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
     ASSERT_EQ(results.size(), points.size());
   };

@@ -2,6 +2,7 @@
 // totals and verifier-stage totals must sum exactly into the merged
 // aggregate, stage order follows first appearance, and the derived rates
 // (QueriesPerSec, AvgQueryMs, PhaseFraction) stay finite on empty inputs.
+#include <algorithm>
 #include <cmath>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "datagen/synthetic.h"
 #include "engine/query_engine.h"
 
 namespace pverify {
@@ -184,6 +186,57 @@ TEST(EngineStatsTest, AccumulateBatchResultMatchesManualFold) {
   EXPECT_EQ(agg.verifier_stages[0].name, "RS");
   EXPECT_EQ(agg.verifier_stages[0].ms, 0.5);
   EXPECT_EQ(agg.verifier_stages[0].runs, 2u);
+}
+
+// End-to-end merge over REAL engine aggregates: two mixed-kind variant
+// batches (point / min / max / k-NN / candidates payloads) run on a live
+// engine, and MergeEngineStats over their per-batch aggregates must sum
+// query counts and phase totals exactly while keeping derived rates
+// finite.
+TEST(EngineStatsTest, MergeOverMixedKindVariantBatchesSumsExactly) {
+  Dataset data = datagen::MakeUniformScatter(200, 250.0, 2.0, /*seed=*/3);
+  QueryEngine engine(data, EngineOptions{2});
+  QueryOptions opt;
+  opt.params = {0.3, 0.01};
+  opt.strategy = Strategy::kVR;
+
+  auto mixed_batch = [&](double q) {
+    std::vector<QueryRequest> batch;
+    batch.push_back(PointQuery{q, opt});
+    batch.push_back(MinQuery{opt});
+    batch.push_back(MaxQuery{opt});
+    batch.push_back(KnnQuery{q, 3, opt});
+    FilterResult filtered = engine.executor().Filter(q);
+    batch.push_back(CandidatesQuery(
+        CandidateSet::Build1D(data, filtered.candidates, q), opt));
+    return batch;
+  };
+
+  EngineStats first, second;
+  engine.ExecuteBatch(mixed_batch(60.0), &first);
+  engine.ExecuteBatch(mixed_batch(180.0), &second);
+  ASSERT_EQ(first.queries, 5u);
+  ASSERT_EQ(second.queries, 5u);
+  // Every kind contributed candidates, so the totals are non-trivial.
+  EXPECT_GT(first.totals.candidates, 0u);
+
+  EngineStats merged = MergeEngineStats({first, second});
+  EXPECT_EQ(merged.queries, 10u);
+  EXPECT_EQ(merged.threads, 2u);
+  EXPECT_EQ(merged.wall_ms, std::max(first.wall_ms, second.wall_ms));
+  EXPECT_EQ(merged.totals.candidates,
+            first.totals.candidates + second.totals.candidates);
+  EXPECT_EQ(merged.totals.filter_ms,
+            first.totals.filter_ms + second.totals.filter_ms);
+  EXPECT_EQ(merged.totals.total_ms,
+            first.totals.total_ms + second.totals.total_ms);
+  // The VR chain ran in both batches; stage totals merged by name.
+  ASSERT_FALSE(merged.verifier_stages.empty());
+  EXPECT_EQ(merged.verifier_stages[0].name, "RS");
+  EXPECT_EQ(merged.verifier_stages[0].runs,
+            first.verifier_stages[0].runs + second.verifier_stages[0].runs);
+  EXPECT_TRUE(std::isfinite(merged.QueriesPerSec()));
+  EXPECT_TRUE(std::isfinite(merged.AvgQueryMs()));
 }
 
 }  // namespace

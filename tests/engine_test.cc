@@ -60,7 +60,7 @@ TEST(QueryEngineTest, BatchAtFourThreadsMatchesSequentialAllStrategies) {
                             Strategy::kVR, Strategy::kMonteCarlo}) {
     QueryOptions opt = OptionsFor(strategy);
     std::vector<QueryRequest> batch;
-    for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
+    for (double q : points) batch.push_back(PointQuery{q, opt});
     std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
     ASSERT_EQ(results.size(), points.size());
     for (size_t i = 0; i < points.size(); ++i) {
@@ -86,11 +86,11 @@ TEST(QueryEngineTest, MixedKindBatchMatchesDirectCalls) {
   };
 
   std::vector<QueryRequest> batch;
-  batch.push_back(QueryRequest::Point(q, opt));
-  batch.push_back(QueryRequest::Min(opt));
-  batch.push_back(QueryRequest::Max(opt));
-  batch.push_back(QueryRequest::Knn(q, 3, opt));
-  batch.push_back(QueryRequest::Candidates(build_candidates(), opt));
+  batch.push_back(PointQuery{q, opt});
+  batch.push_back(MinQuery{opt});
+  batch.push_back(MaxQuery{opt});
+  batch.push_back(KnnQuery{q, 3, opt});
+  batch.push_back(CandidatesQuery(build_candidates(), opt));
   std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
   ASSERT_EQ(results.size(), 5u);
 
@@ -158,7 +158,7 @@ TEST(QueryEngineTest, BatchStatsAggregateThroughputAndStages) {
   QueryOptions opt = OptionsFor(Strategy::kVR);
   std::vector<QueryRequest> batch;
   for (double q : TestQueryPoints(12)) {
-    batch.push_back(QueryRequest::Point(q, opt));
+    batch.push_back(PointQuery{q, opt});
   }
   EngineStats stats;
   std::vector<QueryResult> results =
@@ -191,8 +191,8 @@ TEST(QueryEngineTest, EmptyBatchAndSingleExecute) {
   EXPECT_TRUE(engine.ExecuteBatch({}, &stats).empty());
   EXPECT_EQ(stats.queries, 0u);
 
-  QueryResult r = engine.Execute(
-      QueryRequest::Point(10.0, OptionsFor(Strategy::kVR)));
+  QueryResult r =
+      engine.Execute(PointQuery{10.0, OptionsFor(Strategy::kVR)});
   QueryAnswer expected =
       CpnnExecutor(data).Execute(10.0, OptionsFor(Strategy::kVR));
   EXPECT_EQ(expected.ids, r.ids);
@@ -204,7 +204,7 @@ TEST(QueryEngineTest, InvalidParamsSurfaceFromBatch) {
   QueryOptions bad;
   bad.params = {0.0, 0.0};  // threshold must be positive
   std::vector<QueryRequest> batch;
-  batch.push_back(QueryRequest::Point(10.0, bad));
+  batch.push_back(PointQuery{10.0, bad});
   EXPECT_THROW(engine.ExecuteBatch(std::move(batch)), std::logic_error);
 }
 
@@ -217,7 +217,7 @@ TEST(QueryEngineTest, SubmitResolvesToTheSequentialAnswer) {
   std::vector<double> points = TestQueryPoints(8);
   std::vector<std::future<QueryResult>> futures;
   for (double q : points) {
-    futures.push_back(engine.Submit(QueryRequest::Point(q, opt)));
+    futures.push_back(engine.Submit(PointQuery{q, opt}));
   }
   for (size_t i = 0; i < points.size(); ++i) {
     ExpectIdenticalAnswer(sequential.Execute(points[i], opt),
@@ -233,12 +233,11 @@ TEST(QueryEngineTest, SubmitResolvesToTheSequentialAnswer) {
   // instead of tearing down the queue.
   QueryOptions bad;
   bad.params = {0.0, 0.0};
-  std::future<QueryResult> failing =
-      engine.Submit(QueryRequest::Point(1.0, bad));
+  std::future<QueryResult> failing = engine.Submit(PointQuery{1.0, bad});
   EXPECT_THROW(failing.get(), std::logic_error);
   // The queue still serves afterwards.
   std::future<QueryResult> after =
-      engine.Submit(QueryRequest::Point(points[0], opt));
+      engine.Submit(PointQuery{points[0], opt});
   ExpectIdenticalAnswer(sequential.Execute(points[0], opt), after.get(),
                         "submit after failure");
 }
@@ -267,7 +266,7 @@ TEST(QueryEngineTest, ConcurrentSubmitAndExecuteBatchStress) {
       while (!go.load()) std::this_thread::yield();
       for (size_t i = 0; i < kPerThread; ++i) {
         futures[t].push_back(engine.Submit(
-            QueryRequest::Point(points[(t + i) % points.size()], opt)));
+            PointQuery{points[(t + i) % points.size()], opt}));
       }
     });
   }
@@ -275,7 +274,7 @@ TEST(QueryEngineTest, ConcurrentSubmitAndExecuteBatchStress) {
   // Batches race the submissions on the same pool and scratches.
   for (int round = 0; round < 3; ++round) {
     std::vector<QueryRequest> batch;
-    for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
+    for (double q : points) batch.push_back(PointQuery{q, opt});
     std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
     ASSERT_EQ(results.size(), points.size());
     for (size_t i = 0; i < points.size(); ++i) {
@@ -297,10 +296,11 @@ TEST(QueryEngineTest, ConcurrentSubmitAndExecuteBatchStress) {
   EXPECT_LE(stats.batches, stats.requests);
 }
 
-// Pins the kCandidates consumption contract: executing the request moves
-// the payload out, and a moved-from request cannot be silently
-// re-submitted — debug builds assert, release builds answer over the
-// (empty) leftover set.
+// Pins the CandidatesQuery consumption contract: executing the request
+// moves the payload out, and re-submitting the moved-from request is
+// rejected with an exception in every build type — never answered over a
+// silently empty set. (Copy attempts don't compile at all; the
+// compile-time side is pinned in tests/request_test.cc.)
 TEST(QueryEngineTest, ConsumedCandidatesRequestCannotBeResubmitted) {
   Dataset data = TestDataset(100);
   CpnnExecutor sequential(data);
@@ -309,45 +309,33 @@ TEST(QueryEngineTest, ConsumedCandidatesRequestCannotBeResubmitted) {
   const double q = 50.0;
 
   FilterResult filtered = sequential.Filter(q);
-  QueryRequest request = QueryRequest::Candidates(
-      CandidateSet::Build1D(data, filtered.candidates, q), opt);
-  EXPECT_FALSE(request.payload_consumed);
+  auto build_request = [&] {
+    return QueryRequest(CandidatesQuery(
+        CandidateSet::Build1D(data, filtered.candidates, q), opt));
+  };
+
+  QueryRequest request = build_request();
+  EXPECT_TRUE(std::get<CandidatesQuery>(request.query).has_payload());
 
   QueryResult first = engine.Execute(std::move(request));
   EXPECT_GT(first.stats.candidates, 0u);
-  // Moving into Execute marked the caller's request as consumed.
-  EXPECT_TRUE(request.payload_consumed);
+  // Moving into Execute consumed the caller's payload.
+  EXPECT_FALSE(std::get<CandidatesQuery>(request.query).has_payload());
 
-#ifndef NDEBUG
-  // Debug builds refuse the re-submission outright.
+  // Re-submission of the consumed request is rejected, serially and in a
+  // batch, in every build type.
   EXPECT_THROW(engine.Execute(std::move(request)), std::logic_error);
   std::vector<QueryRequest> batch;
+  batch.push_back(build_request());
   batch.push_back(std::move(request));
   EXPECT_THROW(engine.ExecuteBatch(std::move(batch)), std::logic_error);
-#else
-  // Release builds evaluate the leftover (empty) payload.
-  QueryResult again = engine.Execute(std::move(request));
-  EXPECT_TRUE(again.ids.empty());
-  EXPECT_EQ(again.stats.candidates, 0u);
-#endif
 
-  // Copies made before consumption stay valid; consumption marks only the
-  // moved-from source.
-  QueryRequest fresh = QueryRequest::Candidates(
-      CandidateSet::Build1D(data, filtered.candidates, q), opt);
-  QueryRequest copy = fresh;
-  QueryResult from_fresh = engine.Execute(std::move(fresh));
-  EXPECT_TRUE(fresh.payload_consumed);
-  EXPECT_FALSE(copy.payload_consumed);
-  QueryResult from_copy = engine.Execute(std::move(copy));
-  EXPECT_EQ(from_fresh.ids, from_copy.ids);
-
-  // Non-candidates kinds stay re-submittable after a move: the flag only
-  // guards the consumable payload.
-  QueryRequest point = QueryRequest::Point(q, opt);
-  QueryResult p1 = engine.Execute(std::move(point));
-  QueryResult p2 = engine.Execute(std::move(point));
-  EXPECT_EQ(p1.ids, p2.ids);
+  // Two independently built payloads evaluate identically — the one way
+  // to "re-run" a candidate-set request is to build the set again.
+  QueryResult a = engine.Execute(build_request());
+  QueryResult b = engine.Execute(build_request());
+  EXPECT_EQ(first.ids, a.ids);
+  EXPECT_EQ(a.ids, b.ids);
 }
 
 }  // namespace

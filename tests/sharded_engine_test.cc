@@ -5,6 +5,7 @@
 #include "engine/sharded_engine.h"
 
 #include <cmath>
+#include <functional>
 #include <future>
 #include <thread>
 #include <vector>
@@ -68,13 +69,13 @@ std::vector<QueryRequest> MixedBatch(const CpnnExecutor& reference,
                                      const std::vector<double>& points,
                                      const QueryOptions& opt) {
   std::vector<QueryRequest> batch;
-  for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
-  batch.push_back(QueryRequest::Min(opt));
-  batch.push_back(QueryRequest::Max(opt));
-  for (double q : points) batch.push_back(QueryRequest::Knn(q, 3, opt));
+  for (double q : points) batch.push_back(PointQuery{q, opt});
+  batch.push_back(MinQuery{opt});
+  batch.push_back(MaxQuery{opt});
+  for (double q : points) batch.push_back(KnnQuery{q, 3, opt});
   for (double q : points) {
     FilterResult filtered = reference.Filter(q);
-    batch.push_back(QueryRequest::Candidates(
+    batch.push_back(CandidatesQuery(
         CandidateSet::Build1D(reference.dataset(), filtered.candidates, q),
         opt));
   }
@@ -145,8 +146,8 @@ TEST(ShardedEngineTest, FourShardSingleExecuteMatchesEveryStrategy) {
                             Strategy::kVR, Strategy::kMonteCarlo}) {
     QueryOptions opt = OptionsFor(strategy);
     for (double q : datagen::MakeQueryPoints(5, 0.0, 250.0, /*seed=*/77)) {
-      ExpectIdenticalResult(reference.Execute(QueryRequest::Point(q, opt)),
-                            sharded.Execute(QueryRequest::Point(q, opt)),
+      ExpectIdenticalResult(reference.Execute(PointQuery{q, opt}),
+                            sharded.Execute(PointQuery{q, opt}),
                             std::string(ToString(strategy)));
     }
   }
@@ -173,8 +174,8 @@ TEST(ShardedEngineTest, RangeShardingPrunesDistantShards) {
   QueryEngine reference(data, EngineOptions{1});
   const QueryOptions opt = OptionsFor(Strategy::kVR);
   for (double q : datagen::MakeQueryPoints(6, 0.0, 10000.0, /*seed=*/3)) {
-    ExpectIdenticalResult(reference.Execute(QueryRequest::Point(q, opt)),
-                          sharded.Execute(QueryRequest::Point(q, opt)),
+    ExpectIdenticalResult(reference.Execute(PointQuery{q, opt}),
+                          sharded.Execute(PointQuery{q, opt}),
                           "pruned point query");
   }
   EXPECT_GT(sharded.ShardsPruned(), 0u);
@@ -193,7 +194,7 @@ TEST(ShardedEngineTest, ShardedBatchStatsSumAcrossShards) {
   const QueryOptions opt = OptionsFor(Strategy::kVR);
   std::vector<QueryRequest> batch;
   for (double q : datagen::MakeQueryPoints(10, 0.0, 250.0, /*seed=*/4)) {
-    batch.push_back(QueryRequest::Point(q, opt));
+    batch.push_back(PointQuery{q, opt});
   }
   ShardedBatchStats stats;
   std::vector<QueryResult> results =
@@ -242,7 +243,7 @@ TEST(ShardedEngineTest, AsyncSubmitMatchesReferenceUnderConcurrency) {
       datagen::MakeQueryPoints(8, 0.0, 250.0, /*seed=*/31);
   std::vector<QueryResult> expected;
   for (double q : points) {
-    expected.push_back(reference.Execute(QueryRequest::Point(q, opt)));
+    expected.push_back(reference.Execute(PointQuery{q, opt}));
   }
 
   constexpr size_t kThreads = 4;
@@ -254,14 +255,14 @@ TEST(ShardedEngineTest, AsyncSubmitMatchesReferenceUnderConcurrency) {
       submitters.emplace_back([&, t] {
         for (size_t i = 0; i < kPerThread; ++i) {
           futures[t].push_back(sharded.Submit(
-              QueryRequest::Point(points[(t + i) % points.size()], opt)));
+              PointQuery{points[(t + i) % points.size()], opt}));
         }
       });
     }
     // Batches keep running on the same engine while Submits stream in.
     for (int round = 0; round < 3; ++round) {
       std::vector<QueryRequest> batch;
-      for (double q : points) batch.push_back(QueryRequest::Point(q, opt));
+      for (double q : points) batch.push_back(PointQuery{q, opt});
       std::vector<QueryResult> results = sharded.ExecuteBatch(std::move(batch));
       for (size_t i = 0; i < points.size(); ++i) {
         ExpectIdenticalResult(expected[i], results[i], "batch during submit");
@@ -288,13 +289,15 @@ TEST(ShardedEngineTest, DegenerateShapesMatchUnsharded) {
   {
     ShardedQueryEngine sharded(Dataset{}, ShardedEngineOptions{4, nullptr, 2});
     QueryEngine reference(Dataset{}, EngineOptions{1});
-    for (QueryRequest request :
-         {QueryRequest::Point(1.0, opt), QueryRequest::Min(opt),
-          QueryRequest::Max(opt)}) {
-      QueryRequest copy = request;
-      ExpectIdenticalResult(reference.Execute(std::move(copy)),
-                            sharded.Execute(std::move(request)),
-                            "empty dataset");
+    // Requests are move-only, so each engine gets its own freshly built
+    // payload rather than a copy.
+    const std::vector<std::function<QueryRequest()>> kinds = {
+        [&] { return QueryRequest(PointQuery{1.0, opt}); },
+        [&] { return QueryRequest(MinQuery{opt}); },
+        [&] { return QueryRequest(MaxQuery{opt}); }};
+    for (const auto& make : kinds) {
+      ExpectIdenticalResult(reference.Execute(make()),
+                            sharded.Execute(make()), "empty dataset");
     }
   }
 
@@ -304,16 +307,16 @@ TEST(ShardedEngineTest, DegenerateShapesMatchUnsharded) {
     ShardedQueryEngine sharded(tiny, ShardedEngineOptions{8, nullptr, 2});
     QueryEngine reference(tiny, EngineOptions{1});
     for (double q : {0.0, 10.0, 25.0, 49.0}) {
-      ExpectIdenticalResult(reference.Execute(QueryRequest::Point(q, opt)),
-                            sharded.Execute(QueryRequest::Point(q, opt)),
+      ExpectIdenticalResult(reference.Execute(PointQuery{q, opt}),
+                            sharded.Execute(PointQuery{q, opt}),
                             "tiny dataset");
-      ExpectIdenticalResult(reference.Execute(QueryRequest::Knn(q, 2, opt)),
-                            sharded.Execute(QueryRequest::Knn(q, 2, opt)),
+      ExpectIdenticalResult(reference.Execute(KnnQuery{q, 2, opt}),
+                            sharded.Execute(KnnQuery{q, 2, opt}),
                             "tiny knn");
     }
     // k larger than the dataset.
-    ExpectIdenticalResult(reference.Execute(QueryRequest::Knn(10.0, 7, opt)),
-                          sharded.Execute(QueryRequest::Knn(10.0, 7, opt)),
+    ExpectIdenticalResult(reference.Execute(KnnQuery{10.0, 7, opt}),
+                          sharded.Execute(KnnQuery{10.0, 7, opt}),
                           "k > n");
   }
 

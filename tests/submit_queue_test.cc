@@ -20,6 +20,11 @@ QueryResult ResultWithId(ObjectId id) {
   return r;
 }
 
+// The tests' runners echo each request's query point back as an id.
+double PointOf(const QueryRequest& request) {
+  return std::get<PointQuery>(request.query).q;
+}
+
 // A runner the test can block: while the gate is closed the dispatcher sits
 // inside the runner, so everything submitted meanwhile must coalesce into
 // the next batch.
@@ -35,7 +40,8 @@ class GatedRunner {
     }
     for (PendingQuery& item : batch) {
       // Echo the request's query point back as an id to check FIFO order.
-      item.promise.set_value(ResultWithId(static_cast<ObjectId>(item.request.q)));
+      item.promise.set_value(ResultWithId(
+          static_cast<ObjectId>(PointOf(item.request))));
     }
   }
 
@@ -72,12 +78,12 @@ TEST(SubmitQueueTest, CoalescesEverythingSubmittedDuringAnInFlightBatch) {
     runner(batch);
   });
 
-  std::future<QueryResult> first = queue.Submit(QueryRequest::Point(0.0));
+  std::future<QueryResult> first = queue.Submit(PointQuery{0.0});
   runner.WaitUntilEntered(1);  // dispatcher is now stuck inside batch #1
 
   std::vector<std::future<QueryResult>> rest;
   for (int i = 1; i <= 10; ++i) {
-    rest.push_back(queue.Submit(QueryRequest::Point(i)));
+    rest.push_back(queue.Submit(PointQuery{static_cast<double>(i)}));
   }
   runner.Open();
 
@@ -103,11 +109,11 @@ TEST(SubmitQueueTest, DestructorDrainsQueuedRequests) {
     SubmitQueue queue([](std::vector<PendingQuery>& batch) {
       for (PendingQuery& item : batch) {
         item.promise.set_value(
-            ResultWithId(static_cast<ObjectId>(item.request.q)));
+            ResultWithId(static_cast<ObjectId>(PointOf(item.request))));
       }
     });
     for (int i = 0; i < 64; ++i) {
-      futures.push_back(queue.Submit(QueryRequest::Point(i)));
+      futures.push_back(queue.Submit(PointQuery{static_cast<double>(i)}));
     }
   }  // destructor must resolve every future before returning
   for (int i = 0; i < 64; ++i) {
@@ -121,7 +127,7 @@ TEST(SubmitQueueTest, ThrowingRunnerFailsPromisesInsteadOfBreakingThem) {
     batch.front().promise.set_value(ResultWithId(7));
     throw std::runtime_error("runner died");
   });
-  std::future<QueryResult> ok = queue.Submit(QueryRequest::Point(0.0));
+  std::future<QueryResult> ok = queue.Submit(PointQuery{0.0});
   EXPECT_EQ(ok.get().ids, std::vector<ObjectId>{7});
 
   // A batch with several entries: entry 0 resolves, the rest get the error.
@@ -131,8 +137,8 @@ TEST(SubmitQueueTest, ThrowingRunnerFailsPromisesInsteadOfBreakingThem) {
   });
   // Submit two back to back; whether they land in one batch or two, every
   // future must resolve (value or exception), never broken_promise.
-  std::future<QueryResult> a = multi.Submit(QueryRequest::Point(0.0));
-  std::future<QueryResult> b = multi.Submit(QueryRequest::Point(1.0));
+  std::future<QueryResult> a = multi.Submit(PointQuery{0.0});
+  std::future<QueryResult> b = multi.Submit(PointQuery{1.0});
   for (std::future<QueryResult>* f : {&a, &b}) {
     try {
       QueryResult r = f->get();
@@ -147,7 +153,7 @@ TEST(SubmitQueueTest, ManyThreadsSubmitConcurrently) {
   SubmitQueue queue([](std::vector<PendingQuery>& batch) {
     for (PendingQuery& item : batch) {
       item.promise.set_value(
-          ResultWithId(static_cast<ObjectId>(item.request.q)));
+          ResultWithId(static_cast<ObjectId>(PointOf(item.request))));
     }
   });
   constexpr int kThreads = 8;
@@ -157,8 +163,8 @@ TEST(SubmitQueueTest, ManyThreadsSubmitConcurrently) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        futures[t].push_back(
-            queue.Submit(QueryRequest::Point(t * kPerThread + i)));
+        futures[t].push_back(queue.Submit(
+            PointQuery{static_cast<double>(t * kPerThread + i)}));
       }
     });
   }

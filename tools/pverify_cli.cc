@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "datagen/dataset_io.h"
 #include "datagen/partition.h"
 #include "datagen/workload.h"
+#include "engine/engine.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
 
@@ -165,6 +167,65 @@ int ReportBatch(const bench::ThroughputPoint& seq,
   return 0;
 }
 
+// Builds the batch-mode engine from the --flags: the ONLY place the batch
+// modes distinguish sharded from unsharded. Everything downstream runs
+// against Engine&. The optional out-param hands back the concrete sharded
+// engine for its scatter telemetry. `range_policy` supplies the
+// dimensionality-specific range policy when --policy=range.
+std::unique_ptr<Engine> MakeBatchEngine(
+    const BatchFlags& flags, size_t threads,
+    const std::function<std::shared_ptr<const ShardingPolicy>()>&
+        range_policy,
+    const std::function<std::unique_ptr<QueryEngine>(EngineOptions)>&
+        unsharded,
+    const std::function<std::unique_ptr<ShardedQueryEngine>(
+        ShardedEngineOptions)>& sharded,
+    ShardedQueryEngine** sharded_out) {
+  *sharded_out = nullptr;
+  if (flags.shards == 0) {
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    return unsharded(eopt);
+  }
+  ShardedEngineOptions sopt;
+  sopt.num_shards = flags.shards;
+  sopt.num_threads = threads;  // 0 = hardware concurrency
+  if (flags.policy == "range") {
+    sopt.policy = range_policy();
+  } else if (flags.policy != "hash") {
+    std::fprintf(stderr, "error: unknown policy '%s'\n",
+                 flags.policy.c_str());
+    return nullptr;
+  }
+  std::unique_ptr<ShardedQueryEngine> engine = sharded(sopt);
+  *sharded_out = engine.get();
+  return engine;
+}
+
+// Shared tail of the batch modes once the engine exists: timed batched (or
+// async-streamed) run against the sequential baseline, sharded telemetry
+// when applicable, report. The engine is only ever touched as Engine&.
+template <typename Point>
+int RunBatchOnEngine(Engine& engine, ShardedQueryEngine* sharded,
+                     const bench::ThroughputPoint& seq,
+                     const std::vector<Point>& points,
+                     const QueryOptions& opt, const BatchFlags& flags,
+                     double threshold, double tolerance) {
+  EngineStats stats;
+  bench::ThroughputPoint batched =
+      flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                  : bench::TimeBatch(engine, points, opt, &stats);
+  if (sharded != nullptr) {
+    std::printf("# sharded: %zu shards (%s policy), %zu shard visits, "
+                "%zu pruned by bounds\n",
+                sharded->num_shards(), sharded->policy().name().data(),
+                sharded->ShardVisits(), sharded->ShardsPruned());
+  }
+  return ReportBatch(seq, batched, stats, engine.SubmitStats(), flags,
+                     threshold, tolerance, points.size(),
+                     engine.num_threads());
+}
+
 // Batched throughput mode: random query points over the dataset's domain,
 // run once as a sequential loop and once through the multi-threaded engine
 // (unsharded or sharded, blocking batch or async Submit stream).
@@ -191,50 +252,29 @@ int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
   CpnnExecutor exec(data);
   bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
 
-  EngineStats stats;
-  bench::ThroughputPoint batched;
-  size_t engine_threads = 0;
-  SubmitQueueStats submit_stats;
-  if (flags.shards > 0) {
-    ShardedEngineOptions sopt;
-    sopt.num_shards = flags.shards;
-    sopt.num_threads = threads;  // 0 = hardware concurrency
-    if (flags.policy == "range") {
-      sopt.policy = std::make_shared<const RangeShardingPolicy>(
-          RangeShardingPolicy::ForDataset(data));
-    } else if (flags.policy != "hash") {
-      std::fprintf(stderr, "error: unknown policy '%s'\n",
-                   flags.policy.c_str());
-      return 2;
-    }
-    ShardedQueryEngine engine(data, sopt);
-    engine_threads = engine.num_threads();
-    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
-                          : bench::TimeShardedBatch(engine, points, opt,
-                                                    &stats);
-    submit_stats = engine.SubmitStats();
-    std::printf("# sharded: %zu shards (%s policy), %zu shard visits, "
-                "%zu pruned by bounds\n",
-                engine.num_shards(), engine.policy().name().data(),
-                engine.ShardVisits(), engine.ShardsPruned());
-  } else {
-    EngineOptions eopt;
-    eopt.num_threads = threads;
-    QueryEngine engine(data, eopt);
-    engine_threads = engine.num_threads();
-    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
-                          : bench::TimeEngineBatch(engine, points, opt,
-                                                   &stats);
-    submit_stats = engine.SubmitStats();
-  }
-  return ReportBatch(seq, batched, stats, submit_stats, flags, threshold,
-                     tolerance, num_queries, engine_threads);
+  ShardedQueryEngine* sharded = nullptr;
+  std::unique_ptr<Engine> engine = MakeBatchEngine(
+      flags, threads,
+      [&] {
+        return std::make_shared<const RangeShardingPolicy>(
+            RangeShardingPolicy::ForDataset(data));
+      },
+      [&](EngineOptions eopt) {
+        return std::make_unique<QueryEngine>(data, eopt);
+      },
+      [&](ShardedEngineOptions sopt) {
+        return std::make_unique<ShardedQueryEngine>(data, sopt);
+      },
+      &sharded);
+  if (engine == nullptr) return 2;
+  return RunBatchOnEngine(*engine, sharded, seq, points, opt, flags,
+                          threshold, tolerance);
 }
 
 // 2-D batched throughput mode (--dim=2): synthesizes `count` uniform-pdf
 // rectangles/disks plus a random 2-D query workload and drives them as
-// engine-native kPoint2D requests — sequential executor loop vs. batched
-// engine, sharded and async composing exactly as in 1-D.
+// engine-native Point2DQuery requests — sequential executor loop vs.
+// batched engine, sharded and async composing exactly as in 1-D.
 int RunBatch2D(size_t count, size_t num_queries, size_t threads,
                double threshold, double tolerance, const BatchFlags& flags) {
   datagen::Synthetic2DConfig config;
@@ -251,44 +291,23 @@ int RunBatch2D(size_t count, size_t num_queries, size_t threads,
   CpnnExecutor2D exec(data);
   bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
 
-  EngineStats stats;
-  bench::ThroughputPoint batched;
-  size_t engine_threads = 0;
-  SubmitQueueStats submit_stats;
-  if (flags.shards > 0) {
-    ShardedEngineOptions sopt;
-    sopt.num_shards = flags.shards;
-    sopt.num_threads = threads;
-    if (flags.policy == "range") {
-      sopt.policy = std::make_shared<const RangeShardingPolicy>(
-          RangeShardingPolicy::ForDataset2D(data));
-    } else if (flags.policy != "hash") {
-      std::fprintf(stderr, "error: unknown policy '%s'\n",
-                   flags.policy.c_str());
-      return 2;
-    }
-    ShardedQueryEngine engine(data, sopt);
-    engine_threads = engine.num_threads();
-    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
-                          : bench::TimeShardedBatch(engine, points, opt,
-                                                    &stats);
-    submit_stats = engine.SubmitStats();
-    std::printf("# sharded: %zu shards (%s policy), %zu shard visits, "
-                "%zu pruned by bounds\n",
-                engine.num_shards(), engine.policy().name().data(),
-                engine.ShardVisits(), engine.ShardsPruned());
-  } else {
-    EngineOptions eopt;
-    eopt.num_threads = threads;
-    QueryEngine engine(data, eopt);
-    engine_threads = engine.num_threads();
-    batched = flags.async ? bench::TimeSubmitStream(engine, points, opt)
-                          : bench::TimeEngineBatch(engine, points, opt,
-                                                   &stats);
-    submit_stats = engine.SubmitStats();
-  }
-  return ReportBatch(seq, batched, stats, submit_stats, flags, threshold,
-                     tolerance, num_queries, engine_threads);
+  ShardedQueryEngine* sharded = nullptr;
+  std::unique_ptr<Engine> engine = MakeBatchEngine(
+      flags, threads,
+      [&] {
+        return std::make_shared<const RangeShardingPolicy>(
+            RangeShardingPolicy::ForDataset2D(data));
+      },
+      [&](EngineOptions eopt) {
+        return std::make_unique<QueryEngine>(data, eopt);
+      },
+      [&](ShardedEngineOptions sopt) {
+        return std::make_unique<ShardedQueryEngine>(data, sopt);
+      },
+      &sharded);
+  if (engine == nullptr) return 2;
+  return RunBatchOnEngine(*engine, sharded, seq, points, opt, flags,
+                          threshold, tolerance);
 }
 
 int RunStats(const Dataset& data) {
