@@ -1,36 +1,107 @@
-// Engine throughput — batched multi-threaded execution vs. the sequential
-// query loop.
+// Engine throughput + single-query latency — batched execution vs. the
+// sequential query loop, and nested shard fan-out vs. the sequential
+// per-request shard scan.
 //
-// The workload is the paper's §V-A setup (Long-Beach-like dataset, random
-// query points, P=0.3, Δ=0.01, VR strategy); the measurement is queries/sec
-// of QueryEngine::ExecuteBatch at 1/2/4/8 worker threads against a plain
-// CpnnExecutor::Execute loop over the same points. Speedup scales with
-// available cores (queries are independent and the dataset is shared
-// read-only); scratch reuse adds a single-digit-percent per-thread gain on
-// top (measurable without the pool by passing a QueryScratch* to Execute).
+// Two experiments:
 //
-// Environment overrides: PVERIFY_QUERIES, PVERIFY_DATASET, PVERIFY_THREADS.
+//  1. Batch throughput (the paper's §V-A setup: Long-Beach-like dataset,
+//     random query points, P=0.3, Δ=0.01, VR strategy): queries/sec of
+//     Engine::ExecuteBatch at 1/2/4/8 worker threads on BOTH worker pools
+//     (global-queue and work-stealing) against a plain CpnnExecutor loop.
+//     Work-stealing must not regress flat-batch throughput.
+//
+//  2. Single-query latency: ONE expensive 2-D query (point and k-NN) on a
+//     4-shard ShardedQueryEngine, executed as a batch of one. On the
+//     global-queue pool the batch worker scans its shards sequentially;
+//     on the work-stealing pool the same request fans its shards out
+//     through a nested ParallelFor, so with 4+ workers the query's
+//     filter/candidate-build phases use every core. The speedup column is
+//     the direct before/after of the nested fan-out (≈1.0 on a 1-core
+//     host — there are no idle cores to steal the shard tasks).
+//
+// Every timed region is repeated until it crosses the measurement floor
+// (PVERIFY_MIN_WALL_MS, default 100 ms) — sub-floor regions measure
+// scheduling overhead, not the engine. Results additionally land in
+// machine-readable BENCH_engine.json for CI trend tracking.
+//
+// Environment overrides: PVERIFY_QUERIES, PVERIFY_DATASET,
+// PVERIFY_THREADS, PVERIFY_MIN_WALL_MS.
+#include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <thread>
+#include <vector>
 
 #include "bench_util/harness.h"
 
 using namespace pverify;
 
+namespace {
+
+// One expensive-query latency measurement: ExecuteBatch over a batch of
+// ONE request, repeated to the measurement floor.
+struct LatencyPoint {
+  double avg_ms = 0.0;
+  size_t reps = 0;
+  double parallel_fraction = 0.0;  ///< (filter+init) / total query time
+};
+
+template <typename MakeRequest>
+LatencyPoint TimeSingleQuery(Engine& engine, const MakeRequest& make,
+                             double min_wall_ms) {
+  // Warm-up: spawn the pool, size the scratches.
+  engine.ExecuteBatch([&] {
+    std::vector<QueryRequest> one;
+    one.push_back(make());
+    return one;
+  }());
+  LatencyPoint point;
+  double wall = 0.0;
+  double parallel_ms = 0.0;
+  double total_ms = 0.0;
+  do {
+    std::vector<QueryRequest> one;
+    one.push_back(make());
+    EngineStats stats;
+    engine.ExecuteBatch(std::move(one), &stats);
+    wall += stats.wall_ms;
+    parallel_ms += stats.totals.filter_ms + stats.totals.init_ms;
+    total_ms += stats.totals.total_ms;
+    ++point.reps;
+  } while (wall < min_wall_ms);
+  point.avg_ms = wall / static_cast<double>(point.reps);
+  point.parallel_fraction = total_ms > 0.0 ? parallel_ms / total_ms : 0.0;
+  return point;
+}
+
+}  // namespace
+
 int main() {
   bench::PrintHeader(
-      "Engine throughput — ExecuteBatch vs. sequential loop",
-      "Queries/sec of the batched engine at 1/2/4/8 worker threads vs. a\n"
-      "sequential CpnnExecutor loop (VR strategy, P=0.3, Δ=0.01, uniform\n"
-      "pdfs). batch_speedup is relative to the sequential loop.");
+      "Engine throughput + single-query latency",
+      "Queries/sec of the batched engine at 1/2/4/8 worker threads on both\n"
+      "worker pools vs. a sequential CpnnExecutor loop (VR strategy, P=0.3,\n"
+      "Δ=0.01, uniform pdfs), then the latency of ONE expensive sharded 2-D\n"
+      "query with nested shard fan-out (work-stealing) vs. the sequential\n"
+      "shard scan (global-queue). Timed regions repeat to a ≥100 ms floor.");
 
   const size_t queries = bench::QueriesFromEnv(200);
   const size_t dataset_size = bench::DatasetSizeFromEnv(20000);
+  const double min_wall_ms = bench::MinWallMsFromEnv();
   const std::vector<size_t> thread_counts =
       bench::ThreadCountsFromEnv({1, 2, 4, 8});
+  const unsigned hardware = std::thread::hardware_concurrency();
 
-  std::printf("dataset: %zu objects, %zu queries, hardware threads: %u\n\n",
-              dataset_size, queries, std::thread::hardware_concurrency());
+  std::printf(
+      "dataset: %zu objects, %zu queries, hardware threads: %u, "
+      "floor: %.0f ms\n\n",
+      dataset_size, queries, hardware, min_wall_ms);
+
+  bench::BenchJsonWriter json("engine_throughput", "BENCH_engine.json");
+  json.Config("queries", static_cast<double>(queries));
+  json.Config("dataset", static_cast<double>(dataset_size));
+  json.Config("hardware_threads", static_cast<double>(hardware));
+  json.Config("min_wall_ms", min_wall_ms);
 
   bench::Environment env = bench::MakeDefaultEnvironment(
       datagen::PdfKind::kUniform, queries, dataset_size);
@@ -39,39 +110,155 @@ int main() {
   opt.params = {0.3, 0.01};
   opt.strategy = Strategy::kVR;
 
+  // ---- Experiment 1: batch throughput --------------------------------
   // Warm-up pass so lazy initialization doesn't skew the baseline.
   bench::TimeSequentialLoop(env.executor, env.query_points, opt);
 
-  ResultTable table({"threads", "wall_ms", "queries_per_sec",
-                     "batch_speedup", "avg_query_ms"},
+  ResultTable table({"threads", "pool", "reps", "wall_ms",
+                     "queries_per_sec", "batch_speedup", "avg_query_ms"},
                     "engine_throughput.csv");
 
-  bench::ThroughputPoint sequential =
-      bench::TimeSequentialLoop(env.executor, env.query_points, opt);
-  table.AddRow({"seq", FormatDouble(sequential.wall_ms, 2),
+  bench::ThroughputPoint sequential = bench::TimeSequentialLoopFloored(
+      env.executor, env.query_points, opt, min_wall_ms);
+  table.AddRow({"seq", "-", std::to_string(sequential.reps),
+                FormatDouble(sequential.wall_ms, 2),
                 FormatDouble(sequential.Qps(), 1), FormatDouble(1.0, 2),
-                FormatDouble(sequential.wall_ms / queries, 4)});
+                FormatDouble(sequential.wall_ms / sequential.queries, 4)});
+  json.BeginResult();
+  json.Field("section", "batch");
+  json.Field("name", "sequential");
+  json.Field("threads", 1.0);
+  json.Field("reps", static_cast<double>(sequential.reps));
+  json.Field("wall_ms", sequential.wall_ms);
+  json.Field("qps", sequential.Qps());
+  json.Field("speedup", 1.0);
 
-  for (size_t threads : thread_counts) {
-    EngineOptions eopt;
-    eopt.num_threads = threads;
-    QueryEngine owned(env.dataset, eopt);
-    Engine& engine = owned;  // measured through the abstract interface
-    // Warm the per-worker scratches, then measure.
-    bench::TimeBatch(engine, env.query_points, opt);
-    EngineStats stats;
-    bench::ThroughputPoint batched =
-        bench::TimeBatch(engine, env.query_points, opt, &stats);
-    table.AddRow({std::to_string(threads), FormatDouble(batched.wall_ms, 2),
-                  FormatDouble(batched.Qps(), 1),
-                  FormatDouble(batched.Qps() / sequential.Qps(), 2),
-                  FormatDouble(stats.AvgQueryMs(), 4)});
+  for (PoolKind pool : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
+    for (size_t threads : thread_counts) {
+      EngineOptions eopt;
+      eopt.num_threads = threads;
+      eopt.pool = pool;
+      QueryEngine owned(env.dataset, eopt);
+      Engine& engine = owned;  // measured through the abstract interface
+      // Warm the per-worker scratches, then measure.
+      bench::TimeBatch(engine, env.query_points, opt);
+      bench::ThroughputPoint batched = bench::TimeBatchFloored(
+          engine, env.query_points, opt, min_wall_ms);
+      const double speedup = batched.Qps() / sequential.Qps();
+      table.AddRow({std::to_string(threads), std::string(ToString(pool)),
+                    std::to_string(batched.reps),
+                    FormatDouble(batched.wall_ms, 2),
+                    FormatDouble(batched.Qps(), 1), FormatDouble(speedup, 2),
+                    FormatDouble(batched.wall_ms / batched.queries, 4)});
+      json.BeginResult();
+      json.Field("section", "batch");
+      json.Field("name", "engine");
+      json.Field("pool", std::string(ToString(pool)));
+      json.Field("threads", static_cast<double>(threads));
+      json.Field("reps", static_cast<double>(batched.reps));
+      json.Field("wall_ms", batched.wall_ms);
+      json.Field("qps", batched.Qps());
+      json.Field("speedup", speedup);
+    }
   }
   table.Print();
 
+  // ---- Experiment 2: single-query latency via nested shard fan-out ---
+  // Workloads chosen so the PER-SHARD phases dominate (high parallel
+  // fraction — that is what nested fan-out can speed up):
+  //  * point2d: overlap-heavy regions, so one query has ~40+ candidates
+  //    whose exact radial-cdf distributions (the init phase) dwarf the
+  //    single merged verification pass (parallel fraction ≈ 0.9).
+  //  * knn2d: sparse regions over a large dataset with small k, so the
+  //    per-shard O(n) far-point scans and survivor builds dominate the
+  //    final (serial) k-NN integration (parallel fraction ≈ 0.7).
+  const size_t shards = 4;
+  const size_t latency_threads =
+      std::max<size_t>(4, hardware == 0 ? 1 : hardware);
+  const Point2 center{500.0, 500.0};
+
+  QueryOptions opt2d;
+  opt2d.params = {0.3, 0.02};
+  opt2d.strategy = Strategy::kVR;
+
+  datagen::Synthetic2DConfig overlap_cfg;
+  overlap_cfg.count = 5000;
+  overlap_cfg.domain = 1000.0;
+  overlap_cfg.mean_extent = 40.0;
+  overlap_cfg.max_extent = 160.0;
+  overlap_cfg.seed = 11;
+  Dataset2D overlap2d = datagen::MakeSynthetic2D(overlap_cfg);
+
+  datagen::Synthetic2DConfig sparse_cfg;
+  sparse_cfg.count = 40000;
+  sparse_cfg.domain = 1000.0;
+  sparse_cfg.mean_extent = 4.0;
+  sparse_cfg.max_extent = 12.0;
+  sparse_cfg.seed = 11;
+  Dataset2D sparse2d = datagen::MakeSynthetic2D(sparse_cfg);
+
   std::printf(
-      "\nNote: batch speedup is bounded by available cores; on a 1-core\n"
-      "host every engine row pays cross-thread handoff without any\n"
-      "parallelism to recoup it.\n");
+      "\nSingle-query latency: one expensive 2-D query, %zu shards (hash),\n"
+      "%zu workers. sequential-scan pool = global-queue, nested-fan-out\n"
+      "pool = work-stealing.\n\n",
+      shards, latency_threads);
+
+  ResultTable latency_table({"query", "pool", "reps", "avg_latency_ms",
+                             "parallel_fraction", "fanout_speedup"},
+                            "engine_latency.csv");
+
+  struct QuerySpec {
+    const char* name;
+    const Dataset2D* data;
+    int radial_pieces;
+    std::function<QueryRequest()> make;
+  };
+  const std::vector<QuerySpec> specs = {
+      {"point2d", &overlap2d, 192,
+       [&] { return QueryRequest(Point2DQuery{center, opt2d}); }},
+      {"knn2d", &sparse2d, 64,
+       [&] { return QueryRequest(Knn2DQuery{center, 4, opt2d}); }},
+  };
+
+  for (const QuerySpec& spec : specs) {
+    double base_ms = 0.0;
+    for (PoolKind pool : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
+      ShardedEngineOptions sopt;
+      sopt.num_shards = shards;
+      sopt.num_threads = latency_threads;
+      sopt.radial_pieces = spec.radial_pieces;
+      sopt.pool = pool;
+      ShardedQueryEngine engine(*spec.data, sopt);
+      LatencyPoint point = TimeSingleQuery(engine, spec.make, min_wall_ms);
+      const bool is_base = pool == PoolKind::kGlobalQueue;
+      if (is_base) base_ms = point.avg_ms;
+      const double speedup =
+          point.avg_ms > 0.0 ? base_ms / point.avg_ms : 0.0;
+      latency_table.AddRow(
+          {spec.name, std::string(ToString(pool)),
+           std::to_string(point.reps), FormatDouble(point.avg_ms, 3),
+           FormatDouble(point.parallel_fraction, 2),
+           is_base ? "1.00" : FormatDouble(speedup, 2)});
+      json.BeginResult();
+      json.Field("section", "single_query_latency");
+      json.Field("query", spec.name);
+      json.Field("pool", std::string(ToString(pool)));
+      json.Field("shards", static_cast<double>(shards));
+      json.Field("threads", static_cast<double>(latency_threads));
+      json.Field("reps", static_cast<double>(point.reps));
+      json.Field("avg_latency_ms", point.avg_ms);
+      json.Field("parallel_fraction", point.parallel_fraction);
+      json.Field("fanout_speedup", is_base ? 1.0 : speedup);
+    }
+  }
+  latency_table.Print();
+  json.Write();
+
+  std::printf(
+      "\nNote: speedups are bounded by available cores. On a 1-core host\n"
+      "the engine rows pay cross-thread handoff with no parallelism to\n"
+      "recoup it and the fan-out speedup stays ~1.0; parallel_fraction\n"
+      "(the query time spent in the per-shard filter/build phases) bounds\n"
+      "the achievable fan-out speedup via Amdahl.\n");
   return 0;
 }

@@ -9,10 +9,17 @@
 //    Answers are bit-identical; the interesting numbers are q/s and the
 //    bounds-pruning rate (range sharding skips most shards per query,
 //    hash sharding cannot).
+//  * Both worker pools at 4 shards: the work-stealing pool additionally
+//    runs each request's shard loop as a nested ParallelFor inside batch
+//    workers; flat-batch throughput must not regress vs. global-queue.
 //  * Async Submit streams on both engines: every query submitted
 //    individually, coalesced internally into pool batches.
 //
-// Environment overrides: PVERIFY_QUERIES, PVERIFY_DATASET, PVERIFY_THREADS.
+// Every timed region repeats until it crosses the measurement floor
+// (PVERIFY_MIN_WALL_MS, default 100 ms).
+//
+// Environment overrides: PVERIFY_QUERIES, PVERIFY_DATASET,
+// PVERIFY_THREADS, PVERIFY_MIN_WALL_MS.
 #include <cstdio>
 #include <memory>
 #include <string_view>
@@ -22,23 +29,36 @@
 
 using namespace pverify;
 
+namespace {
+
+size_t AnswersPerRep(const bench::ThroughputPoint& p) {
+  return p.reps > 0 ? p.answers / p.reps : p.answers;
+}
+
+}  // namespace
+
 int main() {
   bench::PrintHeader(
       "Sharded + async throughput — scatter/gather vs. one engine",
       "Queries/sec of ShardedQueryEngine::ExecuteBatch at 1/2/4/8 shards\n"
-      "(hash and range policies) and of the async Submit stream, against\n"
-      "the unsharded QueryEngine (VR strategy, P=0.3, Δ=0.01).");
+      "(hash and range policies), both worker pools at 4 shards, and the\n"
+      "async Submit stream, against the unsharded QueryEngine\n"
+      "(VR strategy, P=0.3, Δ=0.01). Timed regions repeat to a ≥100 ms\n"
+      "floor.");
 
   const size_t queries = bench::QueriesFromEnv(200);
   const size_t dataset_size = bench::DatasetSizeFromEnv(20000);
+  const double min_wall_ms = bench::MinWallMsFromEnv();
   const std::vector<size_t> shard_counts =
       bench::ThreadCountsFromEnv({1, 2, 4, 8});
   const size_t threads = std::thread::hardware_concurrency() == 0
                              ? 1
                              : std::thread::hardware_concurrency();
 
-  std::printf("dataset: %zu objects, %zu queries, %zu worker threads\n\n",
-              dataset_size, queries, threads);
+  std::printf(
+      "dataset: %zu objects, %zu queries, %zu worker threads, "
+      "floor: %.0f ms\n\n",
+      dataset_size, queries, threads, min_wall_ms);
 
   bench::Environment env = bench::MakeDefaultEnvironment(
       datagen::PdfKind::kUniform, queries, dataset_size);
@@ -47,7 +67,7 @@ int main() {
   opt.params = {0.3, 0.01};
   opt.strategy = Strategy::kVR;
 
-  ResultTable table({"engine", "policy", "shards", "wall_ms",
+  ResultTable table({"engine", "policy", "pool", "shards", "reps", "wall_ms",
                      "queries_per_sec", "speedup", "visits_per_query",
                      "pruned_per_query"},
                     "sharded_throughput.csv");
@@ -56,57 +76,75 @@ int main() {
   // only place the sharded/unsharded choice exists.
   QueryEngine baseline(env.dataset, EngineOptions{threads});
   bench::TimeBatch(baseline, env.query_points, opt);  // warm-up
-  bench::ThroughputPoint base =
-      bench::TimeBatch(baseline, env.query_points, opt);
-  table.AddRow({"single", "-", "-", FormatDouble(base.wall_ms, 2),
-                FormatDouble(base.Qps(), 1), FormatDouble(1.0, 2), "-", "-"});
+  bench::ThroughputPoint base = bench::TimeBatchFloored(
+      baseline, env.query_points, opt, min_wall_ms);
+  table.AddRow({"single", "-", "-", "-", std::to_string(base.reps),
+                FormatDouble(base.wall_ms, 2), FormatDouble(base.Qps(), 1),
+                FormatDouble(1.0, 2), "-", "-"});
 
+  // Sharded batch: shards × policies × pools. The policy sweep runs on the
+  // work-stealing (default) pool; the global-queue contrast runs at every
+  // shard count under hash so the two pools' flat-batch throughput can be
+  // compared directly.
   for (const char* policy_name : {"hash", "range"}) {
-    for (size_t shards : shard_counts) {
-      ShardedEngineOptions sopt;
-      sopt.num_shards = shards;
-      sopt.num_threads = threads;
-      if (std::string_view(policy_name) == "range") {
-        sopt.policy = std::make_shared<const RangeShardingPolicy>(
-            RangeShardingPolicy::ForDataset(env.dataset));
+    for (PoolKind pool :
+         {PoolKind::kWorkStealing, PoolKind::kGlobalQueue}) {
+      if (pool == PoolKind::kGlobalQueue &&
+          std::string_view(policy_name) != "hash") {
+        continue;
       }
-      ShardedQueryEngine sharded(env.dataset, sopt);
-      bench::TimeBatch(sharded, env.query_points, opt);  // warm-up
-      const size_t visits0 = sharded.ShardVisits();
-      const size_t pruned0 = sharded.ShardsPruned();
-      bench::ThroughputPoint point =
-          bench::TimeBatch(sharded, env.query_points, opt);
-      if (point.answers != base.answers) {
-        std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n",
-                     point.answers, base.answers);
-        return 1;
+      for (size_t shards : shard_counts) {
+        ShardedEngineOptions sopt;
+        sopt.num_shards = shards;
+        sopt.num_threads = threads;
+        sopt.pool = pool;
+        if (std::string_view(policy_name) == "range") {
+          sopt.policy = std::make_shared<const RangeShardingPolicy>(
+              RangeShardingPolicy::ForDataset(env.dataset));
+        }
+        ShardedQueryEngine sharded(env.dataset, sopt);
+        bench::TimeBatch(sharded, env.query_points, opt);  // warm-up
+        const size_t visits0 = sharded.ShardVisits();
+        const size_t pruned0 = sharded.ShardsPruned();
+        bench::ThroughputPoint point = bench::TimeBatchFloored(
+            sharded, env.query_points, opt, min_wall_ms);
+        if (AnswersPerRep(point) != AnswersPerRep(base)) {
+          std::fprintf(stderr, "error: answer mismatch (%zu vs %zu)\n",
+                       AnswersPerRep(point), AnswersPerRep(base));
+          return 1;
+        }
+        const double per_query = static_cast<double>(point.queries);
+        table.AddRow(
+            {"sharded", policy_name, std::string(ToString(sopt.pool)),
+             std::to_string(shards), std::to_string(point.reps),
+             FormatDouble(point.wall_ms, 2), FormatDouble(point.Qps(), 1),
+             FormatDouble(point.Qps() / base.Qps(), 2),
+             FormatDouble((sharded.ShardVisits() - visits0) / per_query, 2),
+             FormatDouble((sharded.ShardsPruned() - pruned0) / per_query,
+                          2)});
       }
-      const double per_query = static_cast<double>(queries);
-      table.AddRow(
-          {"sharded", policy_name, std::to_string(shards),
-           FormatDouble(point.wall_ms, 2), FormatDouble(point.Qps(), 1),
-           FormatDouble(point.Qps() / base.Qps(), 2),
-           FormatDouble((sharded.ShardVisits() - visits0) / per_query, 2),
-           FormatDouble((sharded.ShardsPruned() - pruned0) / per_query, 2)});
     }
   }
 
   // Async Submit streams: per-request futures, internal coalescing.
-  bench::ThroughputPoint async_single =
-      bench::TimeSubmitStream(baseline, env.query_points, opt);
+  bench::ThroughputPoint async_single = bench::TimeSubmitStreamFloored(
+      baseline, env.query_points, opt, min_wall_ms);
   SubmitQueueStats qs = baseline.SubmitStats();
-  table.AddRow({"single+async", "-", "-",
+  table.AddRow({"single+async", "-", "-", "-",
+                std::to_string(async_single.reps),
                 FormatDouble(async_single.wall_ms, 2),
                 FormatDouble(async_single.Qps(), 1),
                 FormatDouble(async_single.Qps() / base.Qps(), 2), "-", "-"});
-  {
+  for (PoolKind pool : {PoolKind::kWorkStealing, PoolKind::kGlobalQueue}) {
     ShardedEngineOptions sopt;
     sopt.num_shards = 4;
     sopt.num_threads = threads;
+    sopt.pool = pool;
     ShardedQueryEngine sharded(env.dataset, sopt);
-    bench::ThroughputPoint async_sharded =
-        bench::TimeSubmitStream(sharded, env.query_points, opt);
-    table.AddRow({"sharded+async", "hash", "4",
+    bench::ThroughputPoint async_sharded = bench::TimeSubmitStreamFloored(
+        sharded, env.query_points, opt, min_wall_ms);
+    table.AddRow({"sharded+async", "hash", std::string(ToString(pool)), "4",
+                  std::to_string(async_sharded.reps),
                   FormatDouble(async_sharded.wall_ms, 2),
                   FormatDouble(async_sharded.Qps(), 1),
                   FormatDouble(async_sharded.Qps() / base.Qps(), 2), "-",
@@ -122,6 +160,7 @@ int main() {
       "Note: sharding pays off once filtering/candidate construction is a\n"
       "real fraction of query time or shards map to separate NUMA nodes;\n"
       "range sharding additionally skips distant shards per query\n"
-      "(pruned_per_query).\n");
+      "(pruned_per_query). On the work-stealing pool a straggler request's\n"
+      "shard tasks are stolen by idle workers at the batch tail.\n");
   return 0;
 }

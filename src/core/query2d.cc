@@ -38,6 +38,16 @@ QueryAnswer CpnnExecutor2D::Execute(Point2 q, const QueryOptions& options,
   return answer;
 }
 
+CknnAnswer CpnnExecutor2D::ExecuteKnn(Point2 q, int k,
+                                      const CpnnParams& params,
+                                      const IntegrationOptions& integration)
+    const {
+  FilterResult filtered = FilterKByScan2D(dataset_, q, k);
+  CandidateSet candidates = CandidateSet::Build2D(
+      dataset_, filtered.candidates, q, radial_pieces_, k);
+  return EvaluateCknn(candidates, k, params, integration);
+}
+
 std::vector<std::pair<ObjectId, double>> CpnnExecutor2D::ComputePnn(
     Point2 q, const IntegrationOptions& integration) const {
   CandidateSet candidates = BuildCandidates(q);

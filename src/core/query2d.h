@@ -40,6 +40,14 @@ class CpnnExecutor2D {
   std::vector<std::pair<ObjectId, double>> ComputePnn(
       Point2 q, const IntegrationOptions& integration = {}) const;
 
+  /// Constrained probabilistic k-NN at a 2-D query point: k-th-far-point
+  /// filtering over exact region distances, then the same RS-style bound +
+  /// progressive Poisson-binomial refinement as the 1-D ExecuteKnn (the
+  /// radial distance distributions plug straight into the k-NN verifier
+  /// machinery).
+  CknnAnswer ExecuteKnn(Point2 q, int k, const CpnnParams& params,
+                        const IntegrationOptions& integration = {}) const;
+
   /// Filtering phase only.
   FilterResult Filter(Point2 q) const { return filter_.Filter(q); }
 

@@ -6,13 +6,15 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "engine/submit_queue.h"
+#include "engine/thread_pool.h"
 
 namespace pverify {
 
 QueryEngine::QueryEngine(Dataset dataset, EngineOptions options)
     : executor_(std::move(dataset)),
       num_threads_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                            : options.num_threads) {
+                                            : options.num_threads),
+      pool_kind_(options.pool) {
   worker_scratches_.reserve(num_threads_);
   for (size_t i = 0; i < num_threads_; ++i) {
     worker_scratches_.push_back(std::make_unique<QueryScratch>());
@@ -35,8 +37,8 @@ QueryResult QueryEngine::Execute(QueryRequest request) {
   return ExecuteOne(std::move(request), &serial_scratch_);
 }
 
-ThreadPool& QueryEngine::BatchPool() {
-  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+WorkerPool& QueryEngine::BatchPool() {
+  if (pool_ == nullptr) pool_ = MakeWorkerPool(pool_kind_, num_threads_);
   return *pool_;
 }
 
@@ -154,6 +156,21 @@ QueryResult QueryEngine::Run(Point2DQuery&& q, QueryScratch* scratch) const {
   PV_CHECK_MSG(executor2d_.has_value(),
                "Point2DQuery on an engine without a 2-D dataset");
   return ToQueryResult(executor2d_->Execute(q.q, q.options, scratch));
+}
+
+QueryResult QueryEngine::Run(Knn2DQuery&& q, QueryScratch*) const {
+  PV_CHECK_MSG(executor2d_.has_value(),
+               "Knn2DQuery on an engine without a 2-D dataset");
+  Timer t;
+  CknnAnswer answer = executor2d_->ExecuteKnn(q.q, q.k, q.options.params,
+                                              q.options.integration);
+  QueryResult result;
+  result.stats.total_ms = t.ElapsedMs();
+  result.stats.dataset_size = executor2d_->dataset().size();
+  result.stats.candidates = answer.bounds.size();
+  result.ids = answer.ids;
+  result.knn = std::move(answer);
+  return result;
 }
 
 }  // namespace pverify

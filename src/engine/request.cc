@@ -18,6 +18,8 @@ std::string_view ToString(QueryKind kind) {
       return "candidates";
     case QueryKind::kPoint2D:
       return "point2d";
+    case QueryKind::kKnn2D:
+      return "knn2d";
   }
   return "?";
 }

@@ -41,6 +41,7 @@ enum class QueryKind {
   kKnn,         ///< constrained probabilistic k-NN
   kCandidates,  ///< C-PNN over a pre-built candidate set
   kPoint2D,     ///< C-PNN at a 2-D query point (needs a 2-D dataset)
+  kKnn2D,       ///< constrained k-NN at a 2-D query point (needs 2-D data)
 };
 
 std::string_view ToString(QueryKind kind);
@@ -71,6 +72,14 @@ struct KnnQuery {
 /// C-PNN at a 2-D query point (the engine must own a 2-D dataset).
 struct Point2DQuery {
   Point2 q;
+  QueryOptions options;
+};
+
+/// Constrained probabilistic k-NN at a 2-D query point (the engine must
+/// own a 2-D dataset).
+struct Knn2DQuery {
+  Point2 q;
+  int k = 2;
   QueryOptions options;
 };
 
@@ -109,7 +118,7 @@ class CandidatesQuery {
 /// `engine.Execute(PointQuery{12.0, options})`.
 struct QueryRequest {
   using Variant = std::variant<PointQuery, MinQuery, MaxQuery, KnnQuery,
-                               CandidatesQuery, Point2DQuery>;
+                               CandidatesQuery, Point2DQuery, Knn2DQuery>;
 
   /// The engaged payload. Defaults to PointQuery{} (kind() == kPoint).
   Variant query;
@@ -121,6 +130,7 @@ struct QueryRequest {
   QueryRequest(KnnQuery q) : query(std::move(q)) {}         // NOLINT
   QueryRequest(CandidatesQuery q) : query(std::move(q)) {}  // NOLINT
   QueryRequest(Point2DQuery q) : query(std::move(q)) {}     // NOLINT
+  QueryRequest(Knn2DQuery q) : query(std::move(q)) {}       // NOLINT
 
   /// The request kind, derived from the engaged alternative.
   QueryKind kind() const { return static_cast<QueryKind>(query.index()); }
@@ -154,7 +164,11 @@ static_assert(
         std::is_same_v<std::variant_alternative_t<
                            static_cast<size_t>(QueryKind::kPoint2D),
                            QueryRequest::Variant>,
-                       Point2DQuery>,
+                       Point2DQuery> &&
+        std::is_same_v<std::variant_alternative_t<
+                           static_cast<size_t>(QueryKind::kKnn2D),
+                           QueryRequest::Variant>,
+                       Knn2DQuery>,
     "QueryKind values must mirror the variant alternative order");
 
 /// Result of one request, in the same shape regardless of kind.
@@ -165,7 +179,7 @@ struct QueryResult {
   /// Per-candidate bounds (kPoint/kMin/kMax/kCandidates when
   /// options.report_probabilities is set).
   std::vector<AnswerEntry> candidate_probabilities;
-  /// Full k-NN answer; engaged only for kKnn requests.
+  /// Full k-NN answer; engaged only for kKnn / kKnn2D requests.
   std::optional<CknnAnswer> knn;
 };
 

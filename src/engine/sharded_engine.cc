@@ -153,20 +153,23 @@ struct ShardedQueryEngine::PointScatterPolicy {
   }
 };
 
-/// Constrained k-NN scatter. Phase 0: walk shards by ascending bounds
-/// MAXDIST until they cover k objects; that MAXDIST upper-bounds the global
-/// k-th far point, so shards whose bounds MINDIST exceeds it hold none of
-/// the k smallest far points and no candidates. Phase 1 collects each
-/// shard's k smallest far points; their merge contains the k smallest
-/// global ones (each lives in its shard's local top-k), so the k-th order
-/// statistic of the merge equals the unsharded FilterKByScan's value
-/// exactly. Phase 2 scans survivors with the same per-object arithmetic
-/// FilterKByScan uses.
+/// Constrained k-NN scatter, generic over dimensionality. Phase 0: walk
+/// shards by ascending bounds MAXDIST until they cover k objects; that
+/// MAXDIST upper-bounds the global k-th far point, so shards whose bounds
+/// MINDIST exceeds it hold none of the k smallest far points and no
+/// candidates. Phase 1 collects each shard's k smallest far points; their
+/// merge contains the k smallest global ones (each lives in its shard's
+/// local top-k), so the k-th order statistic of the merge equals the
+/// unsharded FilterKByScan / FilterKByScan2D value exactly. Phase 2 scans
+/// survivors with the same per-object arithmetic those filters use.
+template <int Dim>
 struct ShardedQueryEngine::KnnScatterPolicy {
+  static_assert(Dim == 1 || Dim == 2, "knn scatter is 1-D or 2-D");
+  using Point = std::conditional_t<Dim == 1, double, Point2>;
   using Local = std::vector<double>;
 
   const ShardedQueryEngine& engine;
-  double q;
+  Point q;
   int k;
   const QueryOptions& options;
   size_t want;
@@ -174,7 +177,7 @@ struct ShardedQueryEngine::KnnScatterPolicy {
   /// anywhere, so no shard survives.
   std::vector<double> fars;
 
-  KnnScatterPolicy(const ShardedQueryEngine& engine, double q, int k,
+  KnnScatterPolicy(const ShardedQueryEngine& engine, Point q, int k,
                    const QueryOptions& options)
       : engine(engine),
         q(q),
@@ -182,30 +185,65 @@ struct ShardedQueryEngine::KnnScatterPolicy {
         options(options),
         want(static_cast<size_t>(k)) {}
 
-  static bool HasData(const Shard& shard) { return !shard.bounds.empty(); }
+  static bool HasData(const Shard& shard) {
+    if constexpr (Dim == 1) {
+      return !shard.bounds.empty();
+    } else {
+      return !shard.bounds2d.empty();
+    }
+  }
+
+  static size_t ShardSize(const Shard& shard) {
+    if constexpr (Dim == 1) {
+      return shard.engine->executor().dataset().size();
+    } else {
+      return shard.engine->executor2d()->dataset().size();
+    }
+  }
 
   double MinDist(const Shard& shard) const {
-    return IntervalMinDistToBounds(q, shard.bounds);
+    if constexpr (Dim == 1) {
+      // Interval arithmetic, mirroring UncertainObject::MinDist — the
+      // per-object quantity phase 2 compares against the cut.
+      return IntervalMinDistToBounds(q, shard.bounds);
+    } else {
+      // The Mbr<2> metric lower-bounds every contained region's exact
+      // MinDist (box contains region, shard MBR contains box).
+      return MbrMinDistToBounds2D(q, shard.bounds2d);
+    }
+  }
+
+  double MaxDist(const Shard& shard) const {
+    if constexpr (Dim == 1) {
+      return IntervalMaxDistToBounds(q, shard.bounds);
+    } else {
+      return MbrMaxDistToBounds2D(q, shard.bounds2d);
+    }
   }
 
   double Phase0Cap(const std::vector<Shard>& shards) const {
     std::vector<std::pair<double, size_t>> caps;
     caps.reserve(shards.size());
     for (size_t i = 0; i < shards.size(); ++i) {
-      if (shards[i].bounds.empty()) continue;
-      caps.emplace_back(IntervalMaxDistToBounds(q, shards[i].bounds), i);
+      if (!HasData(shards[i])) continue;
+      caps.emplace_back(MaxDist(shards[i]), i);
     }
     std::sort(caps.begin(), caps.end());
     size_t covered = 0;
     for (const std::pair<double, size_t>& cap : caps) {
-      covered += shards[cap.second].engine->executor().dataset().size();
+      covered += ShardSize(shards[cap.second]);
       if (covered >= want) return cap.first;
     }
     return kInf;
   }
 
   Local LocalFilter(const Shard& shard) const {
-    return SmallestFarPoints(shard.engine->executor().dataset(), q, want);
+    if constexpr (Dim == 1) {
+      return SmallestFarPoints(shard.engine->executor().dataset(), q, want);
+    } else {
+      return SmallestFarPoints2D(shard.engine->executor2d()->dataset(), q,
+                                 want);
+    }
   }
 
   double GlobalCut(const std::vector<Local>& locals) {
@@ -213,7 +251,9 @@ struct ShardedQueryEngine::KnnScatterPolicy {
       fars.insert(fars.end(), part.begin(), part.end());
     }
     if (fars.empty()) return 0.0;
-    const size_t kth = std::min(engine.total_objects_, want) - 1;
+    const size_t total =
+        Dim == 1 ? engine.total_objects_ : engine.total_objects2d_;
+    const size_t kth = std::min(total, want) - 1;
     std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
     return fars[kth];
   }
@@ -224,10 +264,21 @@ struct ShardedQueryEngine::KnnScatterPolicy {
 
   void CollectSurvivors(const Shard& shard, const Local&, double cut,
                         Survivors* out) const {
-    for (const UncertainObject& obj : shard.engine->executor().dataset()) {
-      if (obj.MinDist(q) <= cut + kFilterBoundarySlack) {
-        out->emplace_back(obj.id(),
-                          DistanceDistribution::From1D(obj.pdf(), q));
+    if constexpr (Dim == 1) {
+      for (const UncertainObject& obj : shard.engine->executor().dataset()) {
+        if (obj.MinDist(q) <= cut + kFilterBoundarySlack) {
+          out->emplace_back(obj.id(),
+                            DistanceDistribution::From1D(obj.pdf(), q));
+        }
+      }
+    } else {
+      for (const UncertainObject2D& obj :
+           shard.engine->executor2d()->dataset()) {
+        if (obj.MinDist(q) <= cut + kFilterBoundarySlack) {
+          out->emplace_back(
+              obj.id(),
+              MakeDistanceDistribution2D(obj, q, engine.radial_pieces_));
+        }
       }
     }
   }
@@ -245,7 +296,8 @@ struct ShardedQueryEngine::KnnScatterPolicy {
     result.stats.total_ms = total.ElapsedMs();
     result.stats.filter_ms = filter_total;
     result.stats.init_ms = build_total;
-    result.stats.dataset_size = engine.total_objects_;
+    result.stats.dataset_size =
+        Dim == 1 ? engine.total_objects_ : engine.total_objects2d_;
     result.stats.candidates = answer.bounds.size();
     result.ids = answer.ids;
     result.knn = std::move(answer);
@@ -278,8 +330,7 @@ ShardedQueryEngine::ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
     : policy_(options.policy != nullptr
                   ? std::move(options.policy)
                   : std::make_shared<const HashShardingPolicy>()),
-      pool_(options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                     : options.num_threads) {
+      pool_(MakeWorkerPool(options.pool, options.num_threads)) {
   total_objects_ = dataset.size();
   total_objects2d_ = dataset2d.size();
   has_2d_ = serve_2d;
@@ -312,8 +363,8 @@ ShardedQueryEngine::ShardedQueryEngine(Dataset dataset, Dataset2D dataset2d,
                                                        eopt);
     shards_.push_back(std::move(shard));
   }
-  worker_scratches_.reserve(pool_.size());
-  for (size_t i = 0; i < pool_.size(); ++i) {
+  worker_scratches_.reserve(pool_->size());
+  for (size_t i = 0; i < pool_->size(); ++i) {
     worker_scratches_.push_back(std::make_unique<QueryScratch>());
   }
 }
@@ -382,12 +433,16 @@ size_t ShardedQueryEngine::ScratchBytes() const {
 
 void ShardedQueryEngine::RunSubmitted(std::vector<PendingQuery>& batch) {
   std::lock_guard<std::mutex> lock(batch_mu_);
-  pool_.ParallelFor(batch.size(), [&](size_t worker, size_t index) {
+  // Submitted (dispatcher-coalesced) batches land on the same pool as
+  // explicit batches; on the work-stealing pool each request's shard loop
+  // nests, so even a coalesced batch of ONE expensive query fans out.
+  const bool nested = pool_->SupportsNestedParallelFor();
+  pool_->ParallelFor(batch.size(), [&](size_t worker, size_t index) {
     PendingQuery& item = batch[index];
     try {
       item.promise.set_value(ExecuteOne(std::move(item.request),
                                         worker_scratches_[worker].get(),
-                                        /*parallel_scatter=*/false, nullptr));
+                                        /*parallel_scatter=*/nested, nullptr));
     } catch (...) {
       item.promise.set_exception(std::current_exception());
     }
@@ -401,9 +456,12 @@ std::vector<QueryResult> ShardedQueryEngine::ExecuteBatchLocked(
   std::vector<ScatterRecord> records;
   if (sharded != nullptr) records.resize(requests.size());
   Timer wall;
-  // Requests fan out over the pool; each one scatters over its shards
-  // sequentially (nesting ParallelFor inside a pool worker would deadlock).
-  pool_.ParallelFor(requests.size(), [&](size_t worker, size_t index) {
+  // Requests fan out over the pool; on the work-stealing pool each one
+  // additionally scatters its shards through a nested ParallelFor (idle
+  // workers steal the shard tasks), while the global-queue pool cannot
+  // nest and scans shards sequentially inside the batch worker.
+  const bool nested = pool_->SupportsNestedParallelFor();
+  pool_->ParallelFor(requests.size(), [&](size_t worker, size_t index) {
     ScatterRecord* record = nullptr;
     if (sharded != nullptr) {
       records[index].shards.resize(shards_.size());
@@ -411,13 +469,13 @@ std::vector<QueryResult> ShardedQueryEngine::ExecuteBatchLocked(
     }
     results[index] =
         ExecuteOne(std::move(requests[index]), worker_scratches_[worker].get(),
-                   /*parallel_scatter=*/false, record);
+                   /*parallel_scatter=*/nested, record);
   });
   const double wall_ms = wall.ElapsedMs();
 
   if (gathered == nullptr && sharded == nullptr) return results;
   EngineStats agg;
-  agg.threads = pool_.size();
+  agg.threads = pool_->size();
   agg.wall_ms = wall_ms;
   for (const QueryResult& r : results) AccumulateBatchResult(r.stats, &agg);
   if (gathered != nullptr) *gathered = std::move(agg);
@@ -485,7 +543,7 @@ QueryResult ShardedQueryEngine::Run(KnnQuery&& q, QueryScratch* scratch,
                                     bool parallel_scatter,
                                     ScatterRecord* record) {
   PV_CHECK_MSG(q.k >= 1, "k must be positive");
-  KnnScatterPolicy policy(*this, q.q, q.k, q.options);
+  KnnScatterPolicy<1> policy(*this, q.q, q.k, q.options);
   return ScatterGather(policy, scratch, parallel_scatter, record);
 }
 
@@ -507,10 +565,19 @@ QueryResult ShardedQueryEngine::Run(Point2DQuery&& q, QueryScratch* scratch,
   return ScatterGather(policy, scratch, parallel_scatter, record);
 }
 
+QueryResult ShardedQueryEngine::Run(Knn2DQuery&& q, QueryScratch* scratch,
+                                    bool parallel_scatter,
+                                    ScatterRecord* record) {
+  PV_CHECK_MSG(has_2d_, "Knn2DQuery on an engine without a 2-D dataset");
+  PV_CHECK_MSG(q.k >= 1, "k must be positive");
+  KnnScatterPolicy<2> policy(*this, q.q, q.k, q.options);
+  return ScatterGather(policy, scratch, parallel_scatter, record);
+}
+
 void ShardedQueryEngine::ForEachIndex(bool parallel, size_t n,
                                       const std::function<void(size_t)>& fn) {
-  if (parallel && n > 1 && pool_.size() > 1) {
-    pool_.ParallelFor(n, [&fn](size_t, size_t index) { fn(index); });
+  if (parallel && n > 1 && pool_->size() > 1) {
+    pool_->ParallelFor(n, [&fn](size_t, size_t index) { fn(index); });
   } else {
     for (size_t i = 0; i < n; ++i) fn(i);
   }
@@ -521,6 +588,23 @@ QueryResult ShardedQueryEngine::ScatterGather(Policy& policy,
                                               QueryScratch* scratch,
                                               bool parallel_scatter,
                                               ScatterRecord* record) {
+  // Reentrancy invariant for nested scatter: a batch worker waiting on one
+  // of the ForEachIndex loops below may STEAL another request's task and
+  // execute it to completion on its own stack, reusing its per-worker
+  // QueryScratch. That is safe only because `scratch` is untouched until
+  // policy.Finish() — the phases that fan out (local filter, survivor
+  // construction) never borrow scratch state, so at every possible steal
+  // point the worker's scratch is quiescent. Keep it that way: no nested
+  // ParallelFor may ever run while scratch buffers are borrowed.
+  //
+  // Telemetry caveat of the same mechanism: this wall timer keeps running
+  // while the worker drains/steals, so when MULTIPLE requests are in
+  // flight on the work-stealing pool a request's stats.total_ms can
+  // include stolen work executed on its stack (batch aggregates of
+  // per-query totals then over-report; batch wall_ms and the phase
+  // timings, which are measured inside the loop bodies, stay accurate).
+  // A single in-flight request — the latency-bench shape — has nothing
+  // else to steal, so its total_ms is exact.
   Timer total;
   // Shard pruning, phase 0: shards whose bounds MINDIST exceeds the
   // policy's reachable-cut cap cannot contribute — skip them before any

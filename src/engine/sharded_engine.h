@@ -17,9 +17,18 @@
 // is recovered from the local results, phase 2 rechecks each surviving
 // shard's objects against that cut and builds their distance
 // distributions, and the gather merges the survivors and evaluates once.
-// The point (1-D), point (2-D) and k-NN paths are policy instantiations of
-// that driver, differing only in bounds metric, local filter and final
-// evaluation — not in scatter/gather structure.
+// The point (1-D), point (2-D) and k-NN (1-D and 2-D) paths are policy
+// instantiations of that driver, differing only in bounds metric, local
+// filter and final evaluation — not in scatter/gather structure.
+//
+// Parallelism is two-level: batches fan requests across the worker pool,
+// and each request's phase-1/phase-2 shard loops fan out again. On the
+// work-stealing pool (ShardedEngineOptions::pool default) the inner loops
+// are real nested ParallelFors even inside batch workers — idle workers
+// steal shard tasks, so a single high-latency query scatters across every
+// core. On the global-queue pool nested loops would deadlock, so requests
+// executing inside batch workers scan their shards sequentially (the
+// pre-work-stealing behavior).
 //
 // Exactness: a PNN qualification probability depends on EVERY candidate
 // jointly (the Π(1 − D_k) term), so shards cannot verify independently.
@@ -54,6 +63,13 @@ struct ShardedEngineOptions {
   size_t num_threads = 0;
   /// Radial-cdf resolution of the 2-D pipeline (Point2DQuery requests).
   int radial_pieces = 64;
+  /// Worker-pool implementation. With the work-stealing pool (default) a
+  /// request executing inside a batch worker scatters its shards through a
+  /// real nested ParallelFor, so ONE high-latency query can use every
+  /// core; the global-queue pool cannot nest, so batch workers fall back
+  /// to the sequential per-request shard loop. Answers are bit-identical
+  /// either way.
+  PoolKind pool = PoolKind::kWorkStealing;
 };
 
 /// Per-batch statistics of the sharded engine.
@@ -87,7 +103,8 @@ class ShardedQueryEngine : public Engine {
   ~ShardedQueryEngine() override;
 
   size_t num_shards() const { return shards_.size(); }
-  size_t num_threads() const override { return pool_.size(); }
+  size_t num_threads() const override { return pool_->size(); }
+  const WorkerPool& pool() const { return *pool_; }
   size_t total_objects() const { return total_objects_; }
   const ShardingPolicy& policy() const { return *policy_; }
   /// The i-th shard's engine (its dataset is the i-th partition).
@@ -145,10 +162,11 @@ class ShardedQueryEngine : public Engine {
   };
 
   /// Scatter/gather policies instantiating the one driver below: point
-  /// C-PNN generic over dimensionality, and constrained k-NN. Defined in
-  /// the .cc (every instantiation lives there).
+  /// C-PNN and constrained k-NN, each generic over dimensionality. Defined
+  /// in the .cc (every instantiation lives there).
   template <int Dim>
   struct PointScatterPolicy;
+  template <int Dim>
   struct KnnScatterPolicy;
 
   /// Shared constructor body; `serve_2d` distinguishes "no 2-D dataset"
@@ -174,6 +192,8 @@ class ShardedQueryEngine : public Engine {
   QueryResult Run(CandidatesQuery&& q, QueryScratch* scratch,
                   bool parallel_scatter, ScatterRecord* record);
   QueryResult Run(Point2DQuery&& q, QueryScratch* scratch,
+                  bool parallel_scatter, ScatterRecord* record);
+  QueryResult Run(Knn2DQuery&& q, QueryScratch* scratch,
                   bool parallel_scatter, ScatterRecord* record);
 
   /// THE scatter/gather driver — the only place the phase-0 cap → local
@@ -204,7 +224,7 @@ class ShardedQueryEngine : public Engine {
   double domain_lo_ = 0.0;
   double domain_hi_ = 0.0;
 
-  ThreadPool pool_;
+  std::unique_ptr<WorkerPool> pool_;
   std::vector<std::unique_ptr<QueryScratch>> worker_scratches_;
   QueryScratch serial_scratch_;  ///< used by Execute()
   mutable std::mutex serial_mu_;

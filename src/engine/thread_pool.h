@@ -1,4 +1,7 @@
-// Fixed-size worker pool for the query engine.
+// Fixed-size worker pool with one global task queue — the engines'
+// PoolKind::kGlobalQueue backend (see engine/worker_pool.h for the
+// interface and engine/work_steal_pool.h for the nesting-safe
+// alternative).
 //
 // Workers are spawned once at construction and live for the pool's
 // lifetime; query batches are fanned out with ParallelFor, which hands out
@@ -6,6 +9,9 @@
 // slow ones (queries vary wildly in refinement cost). Each callback also
 // receives a stable worker id in [0, size()) so callers can maintain
 // per-worker state — the engine keys its QueryScratch arenas off it.
+// ParallelFor blocks its caller, so calling it from inside one of this
+// pool's own workers deadlocks (SupportsNestedParallelFor() == false);
+// engines that need nested fan-out select the work-stealing pool instead.
 #ifndef PVERIFY_ENGINE_THREAD_POOL_H_
 #define PVERIFY_ENGINE_THREAD_POOL_H_
 
@@ -17,20 +23,21 @@
 #include <thread>
 #include <vector>
 
+#include "engine/worker_pool.h"
+
 namespace pverify {
 
-class ThreadPool {
+class ThreadPool : public WorkerPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(size_t num_threads);
 
   /// Drains outstanding tasks, then joins the workers.
-  ~ThreadPool();
+  ~ThreadPool() override;
 
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  size_t size() const { return workers_.size(); }
+  size_t size() const override { return workers_.size(); }
+  PoolKind kind() const override { return PoolKind::kGlobalQueue; }
+  bool SupportsNestedParallelFor() const override { return false; }
 
   /// Enqueues a task for any worker. Fire-and-forget; pair with WaitIdle()
   /// to synchronize.
@@ -42,9 +49,11 @@ class ThreadPool {
   /// Runs fn(worker, index) for every index in [0, n), distributing indices
   /// dynamically over the workers. Blocks until all indices are processed.
   /// `worker` is a stable id in [0, size()). If any callback throws, one of
-  /// the exceptions is rethrown here after the loop drains.
+  /// the exceptions is rethrown here after the loop drains. Must not be
+  /// called from inside a worker of this pool (it would deadlock).
   void ParallelFor(size_t n,
-                   const std::function<void(size_t worker, size_t index)>& fn);
+                   const std::function<void(size_t worker, size_t index)>& fn)
+      override;
 
   /// Hardware concurrency with a safe fallback (>= 1).
   static size_t DefaultThreadCount();

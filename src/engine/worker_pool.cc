@@ -1,0 +1,34 @@
+#include "engine/worker_pool.h"
+
+#include "common/check.h"
+#include "engine/thread_pool.h"
+#include "engine/work_steal_pool.h"
+
+namespace pverify {
+
+std::string_view ToString(PoolKind kind) {
+  switch (kind) {
+    case PoolKind::kGlobalQueue:
+      return "global-queue";
+    case PoolKind::kWorkStealing:
+      return "work-stealing";
+  }
+  return "?";
+}
+
+WorkerPool::~WorkerPool() = default;
+
+std::unique_ptr<WorkerPool> MakeWorkerPool(PoolKind kind,
+                                           size_t num_threads) {
+  switch (kind) {
+    case PoolKind::kGlobalQueue:
+      return std::make_unique<ThreadPool>(
+          num_threads == 0 ? ThreadPool::DefaultThreadCount() : num_threads);
+    case PoolKind::kWorkStealing:
+      return std::make_unique<WorkStealingPool>(num_threads);
+  }
+  PV_CHECK_MSG(false, "unknown PoolKind");
+  return nullptr;
+}
+
+}  // namespace pverify

@@ -1,0 +1,76 @@
+// The engines' worker-pool surface.
+//
+// Both engine backends fan work out through this interface: ParallelFor
+// hands out item indices under dynamic load balancing and reports a stable
+// worker id in [0, size()) to every callback, so callers can key per-worker
+// state (the engines key their QueryScratch arenas) off it. Two
+// implementations exist:
+//
+//  * ThreadPool (engine/thread_pool.h) — one global task queue. Simple and
+//    fast for flat batches, but a worker that starts a ParallelFor of its
+//    own would block on tasks that can never be scheduled under it, so
+//    nested loops deadlock (SupportsNestedParallelFor() == false).
+//  * WorkStealingPool (engine/work_steal_pool.h) — per-worker deques with
+//    stealing and a nesting-safe ParallelFor: a worker that reaches an
+//    inner loop participates in it instead of blocking, so fan-out from
+//    inside pool workers is deadlock-free by construction.
+//
+// Engines pick the implementation via EngineOptions/ShardedEngineOptions
+// (PoolKind); callers never see past this interface.
+#ifndef PVERIFY_ENGINE_WORKER_POOL_H_
+#define PVERIFY_ENGINE_WORKER_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+namespace pverify {
+
+/// Which worker-pool implementation an engine schedules on.
+enum class PoolKind {
+  kGlobalQueue,   ///< ThreadPool: one shared task queue, no nesting
+  kWorkStealing,  ///< WorkStealingPool: per-worker deques, nesting-safe
+};
+
+std::string_view ToString(PoolKind kind);
+
+/// Abstract worker pool. Implementations spawn their threads at
+/// construction and join them at destruction; ParallelFor may be called
+/// from any external thread, and — when SupportsNestedParallelFor() — from
+/// inside the pool's own workers as well.
+class WorkerPool {
+ public:
+  virtual ~WorkerPool();
+
+  /// Number of worker threads (>= 1).
+  virtual size_t size() const = 0;
+
+  /// The implementation this pool is (telemetry / bench labeling).
+  virtual PoolKind kind() const = 0;
+
+  /// True when ParallelFor may be called from inside one of this pool's
+  /// own workers without deadlocking (the callback's nested loops then run
+  /// with the outer worker's id, so per-worker scratch keys stay valid).
+  virtual bool SupportsNestedParallelFor() const = 0;
+
+  /// Runs fn(worker, index) for every index in [0, n), distributing
+  /// indices dynamically over the workers. Blocks until every index is
+  /// processed. `worker` is a stable id in [0, size()). If any callback
+  /// throws, one of the exceptions is rethrown here after the loop drains.
+  virtual void ParallelFor(
+      size_t n, const std::function<void(size_t worker, size_t index)>& fn) = 0;
+
+ protected:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+};
+
+/// Constructs the requested pool; `num_threads` == 0 means hardware
+/// concurrency (both implementations clamp to >= 1).
+std::unique_ptr<WorkerPool> MakeWorkerPool(PoolKind kind, size_t num_threads);
+
+}  // namespace pverify
+
+#endif  // PVERIFY_ENGINE_WORKER_POOL_H_

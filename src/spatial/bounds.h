@@ -74,6 +74,12 @@ inline double IntervalMaxDistToBounds(double q, const DomainBounds& b) {
 std::vector<double> SmallestFarPoints(const Dataset& dataset, double q,
                                       size_t k);
 
+/// 2-D analogue over exact region far points (UncertainObject2D::MaxDist —
+/// the same arithmetic FilterKByScan2D ranks), so the sharded 2-D k-NN
+/// merge recovers FilterKByScan2D's k-th far point bit for bit.
+std::vector<double> SmallestFarPoints2D(const Dataset2D& dataset, Point2 q,
+                                        size_t k);
+
 /// Bounding box of a 2-D uncertainty region — the exact boxes the 2-D
 /// R-tree indexes (rectangle as-is, disk as center ± radius), so shard
 /// bounds accumulate through the same geometry as the filter.

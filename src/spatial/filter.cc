@@ -101,6 +101,24 @@ FilterResult FilterKByScan(const Dataset& dataset, double q, int k) {
   return result;
 }
 
+FilterResult FilterKByScan2D(const Dataset2D& dataset, Point2 q, int k) {
+  PV_CHECK_MSG(k >= 1, "k must be positive");
+  FilterResult result;
+  if (dataset.empty()) return result;
+  std::vector<double> fars;
+  fars.reserve(dataset.size());
+  for (const UncertainObject2D& obj : dataset) fars.push_back(obj.MaxDist(q));
+  size_t kth = std::min(dataset.size(), static_cast<size_t>(k)) - 1;
+  std::nth_element(fars.begin(), fars.begin() + kth, fars.end());
+  result.fmin = fars[kth];
+  for (uint32_t i = 0; i < dataset.size(); ++i) {
+    if (dataset[i].MinDist(q) <= result.fmin + kBoundarySlack) {
+      result.candidates.push_back(i);
+    }
+  }
+  return result;
+}
+
 FilterResult FilterByScan2D(const Dataset2D& dataset, Point2 q) {
   FilterResult result;
   if (dataset.empty()) return result;

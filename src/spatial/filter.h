@@ -70,6 +70,10 @@ FilterResult FilterByScan2D(const Dataset2D& dataset, Point2 q);
 /// the C-PkNN extension.
 FilterResult FilterKByScan(const Dataset& dataset, double q, int k);
 
+/// 2-D analogue: the same k-th-far-point rule over exact region distances
+/// (UncertainObject2D::MinDist/MaxDist). Used by the 2-D C-PkNN pipeline.
+FilterResult FilterKByScan2D(const Dataset2D& dataset, Point2 q, int k);
+
 }  // namespace pverify
 
 #endif  // PVERIFY_SPATIAL_FILTER_H_

@@ -70,6 +70,29 @@ TEST(QueryEngineTest, BatchAtFourThreadsMatchesSequentialAllStrategies) {
   }
 }
 
+// Both worker-pool implementations (EngineOptions::pool) must answer bit
+// for bit like the sequential executor — only scheduling may differ.
+TEST(QueryEngineTest, BatchBitIdenticalAcrossPoolKinds) {
+  Dataset data = TestDataset(300);
+  CpnnExecutor sequential(data);
+  const std::vector<double> points = TestQueryPoints(12);
+  const QueryOptions opt = OptionsFor(Strategy::kVR);
+  for (PoolKind kind : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
+    EngineOptions eopt;
+    eopt.num_threads = 4;
+    eopt.pool = kind;
+    QueryEngine engine(data, eopt);
+    std::vector<QueryRequest> batch;
+    for (double q : points) batch.push_back(PointQuery{q, opt});
+    std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
+    ASSERT_EQ(results.size(), points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      QueryAnswer expected = sequential.Execute(points[i], opt);
+      ExpectIdenticalAnswer(expected, results[i], ToString(kind).data());
+    }
+  }
+}
+
 TEST(QueryEngineTest, MixedKindBatchMatchesDirectCalls) {
   Dataset data = TestDataset(200);
   CpnnExecutor sequential(data);

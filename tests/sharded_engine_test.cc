@@ -282,6 +282,54 @@ TEST(ShardedEngineTest, AsyncSubmitMatchesReferenceUnderConcurrency) {
   EXPECT_LE(qstats.batches, qstats.requests);
 }
 
+// Both worker-pool implementations must produce bit-identical answers:
+// with the work-stealing pool every request's shard loop runs as a REAL
+// nested ParallelFor inside batch workers (idle workers steal shard
+// tasks), while the global-queue pool scans shards sequentially there —
+// scheduling is the only difference allowed.
+TEST(ShardedEngineTest, PoolKindsBitIdenticalIncludingNestedScatter) {
+  Dataset data = datagen::MakeUniformScatter(400, 250.0, 2.0, /*seed=*/23);
+  QueryEngine reference(data, EngineOptions{2});
+  const QueryOptions opt = OptionsFor(Strategy::kVR);
+  const std::vector<double> points =
+      datagen::MakeQueryPoints(4, 0.0, 250.0, /*seed=*/41);
+
+  std::vector<QueryResult> expected =
+      reference.ExecuteBatch(MixedBatch(reference.executor(), points, opt));
+
+  for (PoolKind kind : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
+    ShardedEngineOptions sopt;
+    sopt.num_shards = 4;
+    sopt.num_threads = 4;
+    sopt.pool = kind;
+    ShardedQueryEngine sharded(data, sopt);
+    ASSERT_EQ(sharded.pool().kind(), kind);
+    ASSERT_EQ(sharded.pool().SupportsNestedParallelFor(),
+              kind == PoolKind::kWorkStealing);
+
+    std::vector<QueryResult> got =
+        sharded.ExecuteBatch(MixedBatch(reference.executor(), points, opt));
+    ASSERT_EQ(expected.size(), got.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ExpectIdenticalResult(expected[i], got[i],
+                            std::string(ToString(kind)) + " request " +
+                                std::to_string(i));
+    }
+
+    // The Submit path (dispatcher-coalesced batches) nests too.
+    std::vector<std::future<QueryResult>> futures;
+    for (double q : points) {
+      futures.push_back(sharded.Submit(PointQuery{q, opt}));
+    }
+    for (size_t i = 0; i < points.size(); ++i) {
+      ExpectIdenticalResult(reference.Execute(PointQuery{points[i], opt}),
+                            futures[i].get(),
+                            std::string(ToString(kind)) + " submit " +
+                                std::to_string(i));
+    }
+  }
+}
+
 TEST(ShardedEngineTest, DegenerateShapesMatchUnsharded) {
   const QueryOptions opt = OptionsFor(Strategy::kVR);
 

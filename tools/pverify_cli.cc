@@ -12,6 +12,8 @@
 //   --shards=N         scatter/gather across N QueryEngine shards
 //   --policy=hash|range  sharding policy (default hash)
 //   --async            drive the run through Submit() futures (coalesced)
+//   --pool=steal|queue worker pool: work-stealing (default; nested shard
+//                      fan-out) or the simple global queue
 //   --dim=2            2-D workload: <dataset> becomes an object count and
 //                      a synthetic 2-D dataset + query workload is
 //                      generated (engine-native kPoint2D requests); the
@@ -51,7 +53,7 @@ int Usage() {
       "  pverify_cli batch <dataset> <num_queries> [threads] [P] "
       "[tolerance]\n"
       "               [--shards=N] [--policy=hash|range] [--async] "
-      "[--dim=2]\n"
+      "[--dim=2] [--pool=steal|queue]\n"
       "               (--dim=2 reads <dataset> as a synthetic 2-D object "
       "count)\n");
   return 2;
@@ -63,6 +65,7 @@ struct BatchFlags {
   std::string policy = "hash";
   bool async = false;
   int dim = 1;  ///< 2 = synthetic 2-D workload through kPoint2D
+  PoolKind pool = PoolKind::kWorkStealing;
 };
 
 double ParseDouble(const char* s) {
@@ -185,11 +188,13 @@ std::unique_ptr<Engine> MakeBatchEngine(
   if (flags.shards == 0) {
     EngineOptions eopt;
     eopt.num_threads = threads;
+    eopt.pool = flags.pool;
     return unsharded(eopt);
   }
   ShardedEngineOptions sopt;
   sopt.num_shards = flags.shards;
   sopt.num_threads = threads;  // 0 = hardware concurrency
+  sopt.pool = flags.pool;
   if (flags.policy == "range") {
     sopt.policy = range_policy();
   } else if (flags.policy != "hash") {
@@ -353,6 +358,16 @@ int main(int argc, char** argv) {
       flags.policy = a + 9;
     } else if (std::strcmp(a, "--async") == 0) {
       flags.async = true;
+    } else if (std::strncmp(a, "--pool=", 7) == 0) {
+      const std::string name = a + 7;
+      if (name == "steal") {
+        flags.pool = PoolKind::kWorkStealing;
+      } else if (name == "queue") {
+        flags.pool = PoolKind::kGlobalQueue;
+      } else {
+        std::fprintf(stderr, "error: --pool must be steal or queue\n");
+        return 2;
+      }
     } else if (std::strncmp(a, "--dim=", 6) == 0) {
       double d = ParseDouble(a + 6);
       if (d != 1 && d != 2) {
@@ -374,8 +389,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (saw_flags && cmd != "batch") {
     std::fprintf(stderr,
-                 "error: --shards/--policy/--async/--dim apply to batch "
-                 "only\n");
+                 "error: --shards/--policy/--async/--dim/--pool apply to "
+                 "batch only\n");
     return 2;
   }
   // The 2-D batch mode synthesizes its dataset: <dataset> is an object
