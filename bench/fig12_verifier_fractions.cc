@@ -9,8 +9,18 @@
 // Two panels: the paper-scale dataset (|C| ≈ 96, where L-SR's 1/c_j floor
 // is weak — the paper's own observation), and a small-candidate-set panel
 // where the RS → L-SR gap at small P is clearly visible.
+//
+// A third section times the verifier chain per stage — scalar reference
+// vs. the vectorized kernels (PVERIFY_SIMD builds) — with every timed
+// region repeated to the measurement floor (PVERIFY_MIN_WALL_MS, default
+// 100 ms), and writes the per-stage speedups to machine-readable
+// BENCH_verifier_fractions.json for CI trend tracking.
+#include <cstdio>
+#include <vector>
+
 #include "bench_util/harness.h"
 #include "core/framework.h"
+#include "core/simd.h"
 
 using namespace pverify;
 
@@ -54,16 +64,106 @@ void RunPanel(const char* title, size_t dataset_size, size_t queries) {
               avg_c / (7.0 * static_cast<double>(env.query_points.size())));
 }
 
+/// Accumulated per-stage chain time over one workload pass (the
+/// framework's own stage timers), averaged over floored repetitions.
+struct StageTimes {
+  double us[3] = {0, 0, 0};  ///< RS, L-SR, U-SR, per workload pass
+  size_t reps = 0;
+};
+
+StageTimes TimeChain(const std::vector<CandidateSet>& base, double P,
+                     double min_wall_ms) {
+  StageTimes out;
+  double wall = 0.0;
+  do {
+    double pass_ms[3] = {0, 0, 0};
+    for (const CandidateSet& cands : base) {
+      CandidateSet fresh = cands;  // unlabeled copy, untimed
+      VerificationFramework fw(&fresh, CpnnParams{P, 0.01});
+      VerificationStats stats = fw.RunDefault();
+      for (size_t s = 0; s < stats.stages.size() && s < 3; ++s) {
+        pass_ms[s] += stats.stages[s].ms;
+      }
+    }
+    for (int s = 0; s < 3; ++s) {
+      out.us[s] += 1000.0 * pass_ms[s];
+      wall += pass_ms[s];
+    }
+    ++out.reps;
+  } while (wall < min_wall_ms);
+  for (double& u : out.us) u /= static_cast<double>(out.reps);
+  return out;
+}
+
+void RunStageTiming(size_t dataset_size, size_t queries) {
+  const double min_wall_ms = bench::MinWallMsFromEnv();
+  const bool simd = SimdKernelsCompiled();
+  const double P = 0.3;
+  std::printf(
+      "-- per-stage chain time, scalar vs. SIMD kernels (P=%.1f, floor "
+      "%.0f ms) --\n",
+      P, min_wall_ms);
+
+  bench::Environment env = bench::MakeDefaultEnvironment(
+      datagen::PdfKind::kUniform, queries, dataset_size);
+  // Candidate sets built once; every timed pass copies them (untimed).
+  std::vector<CandidateSet> base;
+  for (double q : env.query_points) {
+    FilterResult filtered = env.executor.Filter(q);
+    CandidateSet cands =
+        CandidateSet::Build1D(env.dataset, filtered.candidates, q);
+    if (!cands.empty()) base.push_back(std::move(cands));
+  }
+
+  bench::BenchJsonWriter json("fig12_verifier_fractions",
+                              "BENCH_verifier_fractions.json");
+  json.Config("min_wall_ms", min_wall_ms);
+  json.Config("simd_compiled", simd ? 1.0 : 0.0);
+  json.Config("dataset", static_cast<double>(dataset_size));
+  json.Config("queries", static_cast<double>(base.size()));
+  json.Config("threshold", P);
+
+  StageTimes times[2];
+  for (int mode = 0; mode < (simd ? 2 : 1); ++mode) {
+    SetSimdKernelsEnabled(mode == 1);
+    times[mode] = TimeChain(base, P, min_wall_ms);
+  }
+  SetSimdKernelsEnabled(SimdKernelsCompiled());  // restore the default
+
+  ResultTable table({"stage", "scalar_us", "simd_us", "speedup"},
+                    "fig12_stage_times.csv");
+  const char* names[3] = {"rs", "lsr", "usr"};
+  for (int s = 0; s < 3; ++s) {
+    const double scalar_us = times[0].us[s];
+    const double simd_us = simd ? times[1].us[s] : 0.0;
+    const double speedup = simd_us > 0.0 ? scalar_us / simd_us : 0.0;
+    table.AddRow({names[s], FormatDouble(scalar_us, 2),
+                  simd ? FormatDouble(simd_us, 2) : "-",
+                  simd ? FormatDouble(speedup, 2) + "x" : "-"});
+    json.BeginResult();
+    json.Field("stage", names[s]);
+    json.Field("scalar_us", scalar_us);
+    if (simd) {
+      json.Field("simd_us", simd_us);
+      json.Field("speedup", speedup);
+    }
+  }
+  table.Print();
+  json.Write();
+}
+
 }  // namespace
 
 int main() {
   bench::PrintHeader(
       "Figure 12 — Fraction of unknown objects after RS / L-SR / U-SR",
       "Average fraction of candidate objects still undecided after each\n"
-      "verifier stage (Δ=0.01).");
+      "verifier stage (Δ=0.01), plus per-stage scalar-vs-SIMD chain times\n"
+      "repeated to the measurement floor.");
   const size_t queries = bench::QueriesFromEnv(20);
   RunPanel("paper-scale dataset (53,144 intervals)",
            bench::DatasetSizeFromEnv(53144), queries);
   RunPanel("small candidate sets (5,000 intervals)", 5000, queries);
+  RunStageTiming(bench::DatasetSizeFromEnv(53144), queries);
   return 0;
 }

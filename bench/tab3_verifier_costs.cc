@@ -1,63 +1,160 @@
 // Table III — verifier complexities: RS is O(|C|), L-SR and U-SR are
 // O(|C|·M). We measure per-verifier apply time on candidate sets of growing
-// size and report the scaling against |C| and |C|·M.
+// size, in both the scalar reference and the vectorized (PVERIFY_SIMD)
+// kernels, plus the batched RefreshAllBounds kernel on its own — the
+// Eq. 4 bound refresh is the verifier chain's shared inner loop and the
+// headline number for the SIMD build.
+//
+// Every timed region repeats until it crosses the measurement floor
+// (PVERIFY_MIN_WALL_MS, default 100 ms); per-rep setup (candidate-set
+// copies, label resets) stays outside the timed region. Results land in
+// machine-readable BENCH_verifier.json for CI trend tracking; in a build
+// without PVERIFY_SIMD only the scalar columns are measured.
+#include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util/harness.h"
 #include "common/timer.h"
 #include "core/framework.h"
+#include "core/simd.h"
 
 using namespace pverify;
 
+namespace {
+
+/// Overlapping intervals around a query at 0 so all n survive filtering.
+Dataset MakeOverlappingDataset(size_t n) {
+  Dataset data;
+  Rng rng(n);
+  for (size_t i = 0; i < n; ++i) {
+    double lo = rng.Uniform(0.0, 10.0);
+    data.emplace_back(static_cast<ObjectId>(i),
+                      MakeUniformPdf(lo, lo + rng.Uniform(30.0, 60.0)));
+  }
+  return data;
+}
+
+/// Average per-apply time (µs), repeated to the floor. Each rep gets an
+/// unlabeled candidate-set copy and a fresh context (untimed) so every
+/// Apply sees identical work.
+double TimedApplyUs(Verifier& verifier, const CandidateSet& cands,
+                    const SubregionTable& tbl, double min_wall_ms) {
+  double ms = 0.0;
+  size_t reps = 0;
+  do {
+    CandidateSet fresh = cands;
+    VerificationContext ctx(&fresh, &tbl);
+    Timer t;
+    verifier.Apply(ctx);
+    ms += t.ElapsedMs();
+    ++reps;
+  } while (ms < min_wall_ms);
+  return 1000.0 * ms / static_cast<double>(reps);
+}
+
+/// Average time (µs) of one batched RefreshAllBounds pass over the whole
+/// candidate set. The qlow/qup rows are populated once by the L-SR and
+/// U-SR verifiers so the Eq. 4 sums run over realistic slot values; labels
+/// are reset (untimed) before every rep so the pass always visits every
+/// candidate.
+double TimedRefreshUs(const CandidateSet& cands, const SubregionTable& tbl,
+                      double min_wall_ms) {
+  CandidateSet fresh = cands;
+  VerificationContext ctx(&fresh, &tbl);
+  LsrVerifier().Apply(ctx);
+  UsrVerifier().Apply(ctx);
+  double ms = 0.0;
+  size_t reps = 0;
+  do {
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      fresh[i].label = Label::kUnknown;
+    }
+    Timer t;
+    ctx.RefreshAllBounds();
+    ms += t.ElapsedMs();
+    ++reps;
+  } while (ms < min_wall_ms);
+  return 1000.0 * ms / static_cast<double>(reps);
+}
+
+std::string SpeedupCell(double scalar_us, double simd_us) {
+  if (simd_us <= 0.0) return "-";
+  return FormatDouble(scalar_us / simd_us, 2) + "x";
+}
+
+}  // namespace
+
 int main() {
   bench::PrintHeader(
-      "Table III — Verifier costs",
-      "Apply time (µs) of each verifier vs. candidate-set size. RS should\n"
-      "scale with |C|; L-SR and U-SR with |C|·M (subregion count M grows\n"
-      "with |C| here, so their curves bend upward).");
+      "Table III — Verifier costs (scalar vs. SIMD kernels)",
+      "Apply time (µs) of each verifier and of the batched Eq. 4 bound\n"
+      "refresh vs. candidate-set size. RS should scale with |C|; L-SR,\n"
+      "U-SR and the refresh with |C|·M. The *_v columns rerun the same\n"
+      "work through the vectorized kernels (only in PVERIFY_SIMD builds).");
 
-  ResultTable table({"candidates", "M", "rs_us", "lsr_us", "usr_us",
-                     "subregion_build_us"},
-                    "tab3.csv");
+  const double min_wall_ms = bench::MinWallMsFromEnv();
+  const bool simd = SimdKernelsCompiled();
+  std::printf("floor: %.0f ms per timed region, SIMD kernels: %s\n\n",
+              min_wall_ms, simd ? "compiled" : "not compiled");
+
+  bench::BenchJsonWriter json("tab3_verifier_costs", "BENCH_verifier.json");
+  json.Config("min_wall_ms", min_wall_ms);
+  json.Config("simd_compiled", simd ? 1.0 : 0.0);
+
+  ResultTable table(
+      {"candidates", "M", "rs_us", "rs_v", "lsr_us", "lsr_v", "lsr_x",
+       "usr_us", "usr_v", "usr_x", "refresh_us", "refresh_v", "refresh_x"},
+      "tab3.csv");
 
   for (size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
-    // Overlapping intervals around a query at 0 so all n survive filtering.
-    Dataset data;
-    Rng rng(n);
-    for (size_t i = 0; i < n; ++i) {
-      double lo = rng.Uniform(0.0, 10.0);
-      data.emplace_back(static_cast<ObjectId>(i),
-                        MakeUniformPdf(lo, lo + rng.Uniform(30.0, 60.0)));
-    }
+    Dataset data = MakeOverlappingDataset(n);
     std::vector<uint32_t> idx(n);
     for (uint32_t i = 0; i < n; ++i) idx[i] = i;
     CandidateSet cands = CandidateSet::Build1D(data, idx, 0.0);
-
-    Timer t;
     SubregionTable tbl = SubregionTable::Build(cands);
-    double build_us = t.ElapsedUs();
 
-    const int reps = 20;
-    double us[3] = {0, 0, 0};
+    const char* names[3] = {"rs", "lsr", "usr"};
     std::unique_ptr<Verifier> verifiers[3];
     verifiers[0] = std::make_unique<RsVerifier>();
     verifiers[1] = std::make_unique<LsrVerifier>();
     verifiers[2] = std::make_unique<UsrVerifier>();
-    for (int v = 0; v < 3; ++v) {
-      for (int rep = 0; rep < reps; ++rep) {
-        CandidateSet fresh = cands;  // unlabeled copy
-        VerificationContext ctx(&fresh, &tbl);
-        Timer tv;
-        verifiers[v]->Apply(ctx);
-        us[v] += tv.ElapsedUs();
+
+    // [stage][mode]: stages 0..2 are the verifiers, 3 is RefreshAllBounds;
+    // mode 0 scalar, mode 1 vectorized.
+    double us[4][2] = {};
+    for (int mode = 0; mode < (simd ? 2 : 1); ++mode) {
+      SetSimdKernelsEnabled(mode == 1);
+      for (int v = 0; v < 3; ++v) {
+        us[v][mode] = TimedApplyUs(*verifiers[v], cands, tbl, min_wall_ms);
       }
-      us[v] /= reps;
+      us[3][mode] = TimedRefreshUs(cands, tbl, min_wall_ms);
     }
+    SetSimdKernelsEnabled(SimdKernelsCompiled());  // restore the default
+
     table.AddRow({FormatDouble(cands.size(), 0),
                   FormatDouble(tbl.num_subregions(), 0),
-                  FormatDouble(us[0], 2), FormatDouble(us[1], 2),
-                  FormatDouble(us[2], 2), FormatDouble(build_us, 2)});
+                  FormatDouble(us[0][0], 2), FormatDouble(us[0][1], 2),
+                  FormatDouble(us[1][0], 2), FormatDouble(us[1][1], 2),
+                  SpeedupCell(us[1][0], us[1][1]),
+                  FormatDouble(us[2][0], 2), FormatDouble(us[2][1], 2),
+                  SpeedupCell(us[2][0], us[2][1]),
+                  FormatDouble(us[3][0], 2), FormatDouble(us[3][1], 2),
+                  SpeedupCell(us[3][0], us[3][1])});
+
+    for (int s = 0; s < 4; ++s) {
+      json.BeginResult();
+      json.Field("stage", s < 3 ? names[s] : "refresh_all_bounds");
+      json.Field("candidates", static_cast<double>(cands.size()));
+      json.Field("subregions", static_cast<double>(tbl.num_subregions()));
+      json.Field("scalar_us", us[s][0]);
+      if (simd) {
+        json.Field("simd_us", us[s][1]);
+        json.Field("speedup", us[s][1] > 0.0 ? us[s][0] / us[s][1] : 0.0);
+      }
+    }
   }
   table.Print();
+  json.Write();
   return 0;
 }

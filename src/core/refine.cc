@@ -71,22 +71,28 @@ RefineStats IncrementalRefine(VerificationContext& ctx,
     ++stats.refined_candidates;
 
     // Subregions with mass for this candidate, excluding the rightmost.
+    // The candidate's SoA rows are hoisted once; the collapse loop below
+    // rewrites single entries of them, and each RefreshBound re-runs the
+    // (vectorizable) Eq. 4 kernel over the full contiguous rows.
+    const double* s_row = tbl.SRow(i);
+    double* ql_row = ctx.QLowRow(i);
+    double* qu_row = ctx.QUpRow(i);
     js.clear();
     for (size_t j = 0; j + 1 < m; ++j) {
-      if (tbl.Participates(i, j)) js.push_back(j);
+      if (s_row[j] > SubregionTable::kEps) js.push_back(j);
     }
     stats.subregions_available += js.size();
     if (order == RefineOrder::kBySubregionProbability) {
       std::stable_sort(js.begin(), js.end(), [&](size_t a, size_t b) {
-        return tbl.s(i, a) > tbl.s(i, b);
+        return s_row[a] > s_row[b];
       });
     }
 
     for (size_t j : js) {
       double q = ExactSubregionProbability(ctx, i, j, options);
       ++stats.subregion_integrations;
-      ctx.QLow(i, j) = q;
-      ctx.QUp(i, j) = q;
+      ql_row[j] = q;
+      qu_row[j] = q;
       ctx.RefreshBound(i);
       cand.label = Classify(cand.bound, params);
       if (cand.label != Label::kUnknown) break;

@@ -7,6 +7,7 @@ size_t QueryScratch::ApproxBytes() const {
          candidates.ApproxBytes() +
          context.qlow.capacity() * sizeof(double) +
          context.qup.capacity() * sizeof(double) +
+         context.prod.capacity() * sizeof(double) +
          refine_order.capacity() * sizeof(size_t);
 }
 

@@ -1,0 +1,19 @@
+#include "core/simd.h"
+
+#include <atomic>
+
+namespace pverify {
+
+namespace {
+std::atomic<bool> g_simd_enabled{SimdKernelsCompiled()};
+}  // namespace
+
+bool SimdKernelsEnabled() {
+  return g_simd_enabled.load(std::memory_order_relaxed);
+}
+
+void SetSimdKernelsEnabled(bool enabled) {
+  g_simd_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace pverify

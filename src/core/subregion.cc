@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/piecewise.h"
+#include "core/simd.h"
 
 namespace pverify {
 
@@ -48,32 +49,42 @@ void SubregionTable::BuildInto(const CandidateSet& candidates,
   const size_t m = table.endpoints_.size() - 1;  // number of subregions
   PV_CHECK_MSG(m >= 1, "at least the rightmost subregion must exist");
   table.m_ = m;
+  table.s_stride_ = PadStride<double>(m);
+  table.cdf_stride_ = PadStride<double>(m + 1);
 
-  table.s_.assign(n * m, 0.0);
-  table.cdf_.assign(n * (m + 1), 0.0);
+  // assign() zeros the padding too, so padded s-entries never participate
+  // and padded cdf-entries read as 0 if a vector remainder touches them.
+  table.s_.assign(n * table.s_stride_, 0.0);
+  table.cdf_.assign(n * table.cdf_stride_, 0.0);
   table.count_.assign(m, 0);
   table.y_.assign(m + 1, 1.0);
 
   for (size_t i = 0; i < n; ++i) {
     const DistanceDistribution& dist = candidates[i].dist;
+    double* cdf_row = table.cdf_.data() + i * table.cdf_stride_;
+    double* s_row = table.s_.data() + i * table.s_stride_;
     for (size_t j = 0; j <= m; ++j) {
-      table.cdf_[i * (m + 1) + j] = dist.Cdf(table.endpoints_[j]);
+      cdf_row[j] = dist.Cdf(table.endpoints_[j]);
     }
     for (size_t j = 0; j < m; ++j) {
-      double sij = table.cdf_[i * (m + 1) + j + 1] -
-                   table.cdf_[i * (m + 1) + j];
+      double sij = cdf_row[j + 1] - cdf_row[j];
       sij = std::max(0.0, sij);
-      table.s_[i * m + j] = sij;
+      s_row[j] = sij;
       if (sij > kEps) ++table.count_[j];
     }
   }
 
-  for (size_t j = 0; j <= m; ++j) {
-    double y = 1.0;
-    for (size_t k = 0; k < n; ++k) {
-      y *= 1.0 - table.cdf_[k * (m + 1) + j];
+  // Y_j product, candidate-outer so the inner loop streams one contiguous
+  // cdf row. Per j this multiplies the same factors in the same (k-)order
+  // as the subregion-outer formulation, so the result is bit-identical;
+  // the lanes are independent, so the pragma is too.
+  double* y = table.y_.data();
+  for (size_t k = 0; k < n; ++k) {
+    const double* cdf_row = table.cdf_.data() + k * table.cdf_stride_;
+    PV_SIMD
+    for (size_t j = 0; j <= m; ++j) {
+      y[j] *= 1.0 - cdf_row[j];
     }
-    table.y_[j] = y;
   }
 }
 
@@ -81,7 +92,7 @@ double SubregionTable::ProductExcluding(size_t i, size_t j) const {
   PV_DCHECK(i < n_ && j <= m_);
   const double di = cdf(i, j);
   const double factor = 1.0 - di;
-  if (factor > 1e-8 && y_[j] > 0.0) {
+  if (DivideOutSafe(factor, y_[j])) {
     return std::min(1.0, y_[j] / factor);
   }
   // Fallback: i's factor is ~0 (or Y_j underflowed); recompute directly.

@@ -12,12 +12,17 @@
 // probability s_ij = P(R_i ∈ S_j) and the cdf value D_i(e_j); it also
 // precomputes the per-subregion participant counts c_j and the products
 // Y_j = Π_k (1 − D_k(e_j)) used by the verifiers (Eq. 2).
+//
+// Storage is row-major SoA: one contiguous row per candidate, rows padded
+// to cache-line multiples and the buffers 64-byte aligned (common/aligned.h)
+// so the verifier kernels stream each row with unit stride.
 #ifndef PVERIFY_CORE_SUBREGION_H_
 #define PVERIFY_CORE_SUBREGION_H_
 
 #include <cstddef>
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/candidate.h"
 
 namespace pverify {
@@ -49,10 +54,10 @@ class SubregionTable {
   double fmax() const { return endpoints_[m_]; }
 
   /// Subregion probability s_ij = P(R_i ∈ S_j).
-  double s(size_t i, size_t j) const { return s_[i * m_ + j]; }
+  double s(size_t i, size_t j) const { return s_[i * s_stride_ + j]; }
 
   /// Distance cdf value D_i(e_j), j ∈ [0, M].
-  double cdf(size_t i, size_t j) const { return cdf_[i * (m_ + 1) + j]; }
+  double cdf(size_t i, size_t j) const { return cdf_[i * cdf_stride_ + j]; }
 
   /// c_j: number of candidates with s_ij > 0.
   int count(size_t j) const { return count_[j]; }
@@ -60,6 +65,13 @@ class SubregionTable {
   /// Y_j = Π_{k} (1 − D_k(e_j)) over all candidates (factors of 1 for
   /// candidates with D_k(e_j) = 0), j ∈ [0, M].
   double Y(size_t j) const { return y_[j]; }
+
+  /// Raw rows for the SoA kernels. Each row starts on a cache line; entries
+  /// past the logical row length (M for s, M+1 for cdf) are padding zeros.
+  const double* SRow(size_t i) const { return s_.data() + i * s_stride_; }
+  const double* CdfRow(size_t i) const { return cdf_.data() + i * cdf_stride_; }
+  const double* YData() const { return y_.data(); }
+  const int* CountData() const { return count_.data(); }
 
   /// Π_{k ≠ i} (1 − D_k(e_j)): the Pr(E)-style product used by L-SR
   /// (Lemma 2) and U-SR (Eq. 5). Computed by dividing i's factor out of Y_j,
@@ -74,6 +86,14 @@ class SubregionTable {
 
   static constexpr double kEps = 1e-15;
 
+  /// Divide-out fast path of ProductExcluding: safe when i's factor is not
+  /// too small to divide by and Y_j has not underflowed. The kernels use
+  /// this predicate to mask vector lanes and fall back to the scalar
+  /// direct product on the rest.
+  static bool DivideOutSafe(double factor, double yj) {
+    return factor > 1e-8 && yj > 0.0;
+  }
+
   /// Approximate heap footprint of the table's buffers (capacity, not
   /// size). Used by QueryScratch to assert allocation reuse in tests.
   size_t ApproxBytes() const {
@@ -85,11 +105,13 @@ class SubregionTable {
  private:
   size_t n_ = 0;  // number of candidates
   size_t m_ = 0;  // number of subregions M
-  std::vector<double> endpoints_;  // M+1 entries; last two may coincide
-  std::vector<double> s_;          // n × M
-  std::vector<double> cdf_;        // n × (M+1)
-  std::vector<int> count_;         // M
-  std::vector<double> y_;          // M+1
+  size_t s_stride_ = 0;    // padded row length of s_ (>= M)
+  size_t cdf_stride_ = 0;  // padded row length of cdf_ (>= M+1)
+  std::vector<double> endpoints_;   // M+1 entries; last two may coincide
+  AlignedVector<double> s_;    // n rows × s_stride_, logical width M
+  AlignedVector<double> cdf_;  // n rows × cdf_stride_, logical width M+1
+  AlignedVector<int> count_;   // M
+  AlignedVector<double> y_;    // M+1
 };
 
 }  // namespace pverify

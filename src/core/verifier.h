@@ -6,6 +6,13 @@
 // Verifiers additionally record per-subregion qualification-probability
 // bounds [q_ij.l, q_ij.u] in the context so that incremental refinement
 // (§IV-D) can collapse them one subregion at a time.
+//
+// Like SubregionTable, the context stores q_ij.l / q_ij.u as row-major SoA:
+// one cache-line-aligned padded row per candidate, with the row stride
+// computed once at Reset() rather than re-derived per access. The bound
+// recomputation (Eq. 4) runs as a batched kernel over those rows, in a
+// scalar reference flavor and a vectorized flavor selected at runtime (see
+// core/simd.h).
 #ifndef PVERIFY_CORE_VERIFIER_H_
 #define PVERIFY_CORE_VERIFIER_H_
 
@@ -13,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/candidate.h"
 #include "core/subregion.h"
 #include "core/types.h"
@@ -38,34 +46,49 @@ struct VerificationContext {
     table = tbl;
     const size_t n = tbl->num_candidates();
     const size_t m = tbl->num_subregions();
-    qlow.assign(n * m, 0.0);
-    qup.assign(n * m, 1.0);
+    stride_ = PadStride<double>(m);
+    qlow.assign(n * stride_, 0.0);
+    qup.assign(n * stride_, 1.0);
     // The rightmost subregion carries zero qualification probability
     // (paper: "the probability of any object in S_M must be zero").
-    for (size_t i = 0; i < n; ++i) qup[i * m + (m - 1)] = 0.0;
+    for (size_t i = 0; i < n; ++i) qup[i * stride_ + (m - 1)] = 0.0;
+    // Pr(E)-product workspace for the U-SR kernel (one row, not n×M).
+    prod.assign(PadStride<double>(m + 1), 0.0);
   }
 
-  double& QLow(size_t i, size_t j) {
-    return qlow[i * table->num_subregions() + j];
-  }
-  double& QUp(size_t i, size_t j) {
-    return qup[i * table->num_subregions() + j];
-  }
-  double QLow(size_t i, size_t j) const {
-    return qlow[i * table->num_subregions() + j];
-  }
-  double QUp(size_t i, size_t j) const {
-    return qup[i * table->num_subregions() + j];
-  }
+  double& QLow(size_t i, size_t j) { return qlow[i * stride_ + j]; }
+  double& QUp(size_t i, size_t j) { return qup[i * stride_ + j]; }
+  double QLow(size_t i, size_t j) const { return qlow[i * stride_ + j]; }
+  double QUp(size_t i, size_t j) const { return qup[i * stride_ + j]; }
+
+  /// Candidate i's contiguous per-subregion bound rows (padded; see
+  /// common/aligned.h). The kernels' unit-stride access path.
+  double* QLowRow(size_t i) { return qlow.data() + i * stride_; }
+  double* QUpRow(size_t i) { return qup.data() + i * stride_; }
+  const double* QLowRow(size_t i) const { return qlow.data() + i * stride_; }
+  const double* QUpRow(size_t i) const { return qup.data() + i * stride_; }
+
+  /// Padded length of each q-bound row.
+  size_t stride() const { return stride_; }
 
   /// Recomputes candidate i's probability bound from the per-subregion
   /// bounds (Eq. 4 and its upper-bound analogue) and tightens it.
   void RefreshBound(size_t i);
 
-  CandidateSet* candidates = nullptr;    // not owned
+  /// Batched RefreshBound over every still-unknown candidate. The verifier
+  /// passes update all rows first and refresh once, which keeps the Eq. 4
+  /// reduction streaming over contiguous SoA rows instead of interleaving
+  /// with the (branchy) per-subregion tightening.
+  void RefreshAllBounds();
+
+  CandidateSet* candidates = nullptr;     // not owned
   const SubregionTable* table = nullptr;  // not owned
-  std::vector<double> qlow;  // n × M per-subregion lower bounds q_ij.l
-  std::vector<double> qup;   // n × M per-subregion upper bounds q_ij.u
+  AlignedVector<double> qlow;  // n rows × stride(): q_ij.l, logical width M
+  AlignedVector<double> qup;   // n rows × stride(): q_ij.u, logical width M
+  AlignedVector<double> prod;  // one row: Π_{k≠i}(1−D_k(e_j)) workspace
+
+ private:
+  size_t stride_ = 0;
 };
 
 /// Base class for the probabilistic verifiers of §IV.

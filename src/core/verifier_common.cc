@@ -1,23 +1,81 @@
+#include <algorithm>
+
+#include "core/simd.h"
 #include "core/verifier.h"
 
 namespace pverify {
+namespace {
 
-void VerificationContext::RefreshBound(size_t i) {
-  const SubregionTable& tbl = *table;
-  const size_t m = tbl.num_subregions();
+/// Seed implementation of the Eq. 4 accumulation, kept verbatim as the
+/// scalar reference: skip-on-mask, strictly sequential sums.
+void AccumulateBoundScalar(const double* s_row, const double* ql_row,
+                           const double* qu_row, size_t m, double* lower_out,
+                           double* upper_out) {
   double lower = 0.0;
   double upper = 0.0;
   for (size_t j = 0; j < m; ++j) {
-    const double sij = tbl.s(i, j);
+    const double sij = s_row[j];
     if (sij <= SubregionTable::kEps) continue;
-    lower += sij * QLow(i, j);
-    upper += sij * QUp(i, j);
+    lower += sij * ql_row[j];
+    upper += sij * qu_row[j];
+  }
+  *lower_out = lower;
+  *upper_out = upper;
+}
+
+/// Vectorized flavor: branch-free masked accumulation so every lane does
+/// the same work. Masked-out terms contribute +0.0, which cannot change a
+/// non-negative running sum, so with the pragma compiled out this is
+/// bit-identical to the scalar reference; with it live the only divergence
+/// is the reduction's reassociation (a few ULP).
+void AccumulateBoundSimd(const double* s_row, const double* ql_row,
+                         const double* qu_row, size_t m, double* lower_out,
+                         double* upper_out) {
+  double lower = 0.0;
+  double upper = 0.0;
+  PV_SIMD_REDUCE(+ : lower, upper)
+  for (size_t j = 0; j < m; ++j) {
+    const double sij = s_row[j];
+    const bool mass = sij > SubregionTable::kEps;
+    lower += mass ? sij * ql_row[j] : 0.0;
+    upper += mass ? sij * qu_row[j] : 0.0;
+  }
+  *lower_out = lower;
+  *upper_out = upper;
+}
+
+inline void RefreshOne(VerificationContext& ctx, size_t i, size_t m,
+                       bool simd) {
+  const SubregionTable& tbl = *ctx.table;
+  double lower, upper;
+  if (simd) {
+    AccumulateBoundSimd(tbl.SRow(i), ctx.QLowRow(i), ctx.QUpRow(i), m, &lower,
+                        &upper);
+  } else {
+    AccumulateBoundScalar(tbl.SRow(i), ctx.QLowRow(i), ctx.QUpRow(i), m,
+                          &lower, &upper);
   }
   // The subregion probabilities of a proper distance distribution sum to 1,
   // but guard against discretization residue pushing the sums out of range.
   lower = std::min(1.0, std::max(0.0, lower));
   upper = std::min(1.0, std::max(lower, upper));
-  (*candidates)[i].bound.Tighten(lower, upper);
+  (*ctx.candidates)[i].bound.Tighten(lower, upper);
+}
+
+}  // namespace
+
+void VerificationContext::RefreshBound(size_t i) {
+  RefreshOne(*this, i, table->num_subregions(), SimdKernelsEnabled());
+}
+
+void VerificationContext::RefreshAllBounds() {
+  const size_t m = table->num_subregions();
+  const bool simd = SimdKernelsEnabled();
+  CandidateSet& cands = *candidates;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].label != Label::kUnknown) continue;
+    RefreshOne(*this, i, m, simd);
+  }
 }
 
 std::vector<std::unique_ptr<Verifier>> MakeDefaultVerifierChain() {

@@ -10,11 +10,20 @@
 // subregion by construction, so candidates inside S_j are exchangeable).
 // Summing s_ij·q_ij.l over the non-rightmost subregions (Eq. 4) lower-bounds
 // p_i. The Y_j products let the whole pass run in O(|C|·M).
+//
+// The vectorized flavor streams candidate i's contiguous s/cdf/qlow rows in
+// two passes: (A) q_ij.l for every numerically safe lane, branch-free, into
+// the context's scratch row (the exact operations of the scalar path, so
+// slot values stay bit-identical), then (B) a participation-masked merge
+// into the qlow row. The rare unsafe lanes are counted in pass A and fixed
+// up by a scalar pass that takes ProductExcluding's direct-product fallback.
+#include "core/simd.h"
 #include "core/verifier.h"
 
 namespace pverify {
+namespace {
 
-void LsrVerifier::Apply(VerificationContext& ctx) {
+void ApplyScalar(VerificationContext& ctx) {
   const SubregionTable& tbl = *ctx.table;
   const size_t m = tbl.num_subregions();
   CandidateSet& cands = *ctx.candidates;
@@ -28,8 +37,70 @@ void LsrVerifier::Apply(VerificationContext& ctx) {
       double& slot = ctx.QLow(i, j);
       if (qlow > slot) slot = qlow;
     }
-    ctx.RefreshBound(i);
   }
+}
+
+void ApplySimd(VerificationContext& ctx) {
+  const SubregionTable& tbl = *ctx.table;
+  const size_t m = tbl.num_subregions();
+  const double* y = tbl.YData();
+  const int* cnt = tbl.CountData();
+  double* tmp = ctx.prod.data();
+  CandidateSet& cands = *ctx.candidates;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].label != Label::kUnknown) continue;
+    const double* s_row = tbl.SRow(i);
+    const double* cdf_row = tbl.CdfRow(i);
+    double* ql = ctx.QLowRow(i);
+    const size_t last = m - 1;  // omp-canonical bound for j + 1 < m
+    // Pass A: candidate q_ij.l for every numerically safe lane into the
+    // context's scratch row. GCC 12's if-converter bails once a second
+    // comparison mask (the s_ij participation test) joins this loop, so
+    // that test moves to pass B. Blended divisors keep masked lanes on
+    // 1/1 instead of tripping on factor ≈ 0 or c_j = 0; a c_j = 0 lane is
+    // by definition non-participating, so the inf it produces is never
+    // consumed. The fallback counter intentionally counts *every* unsafe
+    // lane (participating or not; the fix-up loop re-filters) and stays
+    // in the FP domain — a mixed bool/int reduction also de-vectorizes.
+    double fallback = 0.0;
+    PV_SIMD_REDUCE(+ : fallback)
+    for (size_t j = 0; j < last; ++j) {
+      const double factor = 1.0 - cdf_row[j];
+      const bool safe = factor > 1e-8 && y[j] > 0.0;
+      const double pr_e = std::min(1.0, y[j] / (safe ? factor : 1.0));
+      const double cj = safe ? static_cast<double>(cnt[j]) : 1.0;
+      tmp[j] = safe ? pr_e / cj : 0.0;
+      fallback += safe ? 0.0 : 1.0;
+    }
+    // Pass B: merge into the qlow row, masked by participation. Unsafe
+    // lanes hold 0.0 and can never beat a slot (slots start at 0), so
+    // they fall through to the scalar fix-up below.
+    PV_SIMD
+    for (size_t j = 0; j < last; ++j) {
+      const bool upd = s_row[j] > SubregionTable::kEps && tmp[j] > ql[j];
+      ql[j] = upd ? tmp[j] : ql[j];
+    }
+    if (fallback != 0.0) {
+      for (size_t j = 0; j + 1 < m; ++j) {
+        if (s_row[j] <= SubregionTable::kEps) continue;
+        if (SubregionTable::DivideOutSafe(1.0 - cdf_row[j], y[j])) continue;
+        const double qlow = tbl.ProductExcluding(i, j) /
+                            static_cast<double>(cnt[j]);
+        if (qlow > ql[j]) ql[j] = qlow;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void LsrVerifier::Apply(VerificationContext& ctx) {
+  if (SimdKernelsEnabled()) {
+    ApplySimd(ctx);
+  } else {
+    ApplyScalar(ctx);
+  }
+  ctx.RefreshAllBounds();
 }
 
 }  // namespace pverify

@@ -8,13 +8,16 @@
 
 namespace pverify {
 
+// RS stays scalar even in SIMD builds: it reads one strided column of the
+// s-table (a gather) and runs branchy Tighten once per candidate — O(|C|)
+// with no inner subregion loop, so there is nothing for lanes to share.
 void RsVerifier::Apply(VerificationContext& ctx) {
   const SubregionTable& tbl = *ctx.table;
   const size_t m = tbl.num_subregions();
   CandidateSet& cands = *ctx.candidates;
   for (size_t i = 0; i < cands.size(); ++i) {
     if (cands[i].label != Label::kUnknown) continue;
-    const double s_im = tbl.s(i, m - 1);
+    const double s_im = tbl.SRow(i)[m - 1];
     cands[i].bound.Tighten(0.0, 1.0 - s_im);
   }
 }

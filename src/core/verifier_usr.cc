@@ -10,11 +10,20 @@
 //
 // Both products reuse the precomputed Y_j values (Eq. 11), so the pass is
 // O(|C|·M).
+//
+// The vectorized flavor runs per candidate in two passes over contiguous
+// rows: (A) materialize Π_{k≠i}(1 − D_k(e_j)) for every end-point into the
+// context's `prod` workspace (safe divide-out lanes branch-free, unsafe
+// lanes fixed up scalar), then (B) blend ½·(prod[j+1] + prod[j]) into the
+// qup row. Used lanes perform the scalar path's exact operations in the
+// same order, so slot values stay bit-identical to the reference.
+#include "core/simd.h"
 #include "core/verifier.h"
 
 namespace pverify {
+namespace {
 
-void UsrVerifier::Apply(VerificationContext& ctx) {
+void ApplyScalar(VerificationContext& ctx) {
   const SubregionTable& tbl = *ctx.table;
   const size_t m = tbl.num_subregions();
   CandidateSet& cands = *ctx.candidates;
@@ -30,8 +39,60 @@ void UsrVerifier::Apply(VerificationContext& ctx) {
       }
       pr_e = pr_f;  // e_{j+1} becomes the next subregion's left end-point
     }
-    ctx.RefreshBound(i);
   }
+}
+
+void ApplySimd(VerificationContext& ctx) {
+  const SubregionTable& tbl = *ctx.table;
+  const size_t m = tbl.num_subregions();
+  const double* y = tbl.YData();
+  double* prod = ctx.prod.data();
+  CandidateSet& cands = *ctx.candidates;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (cands[i].label != Label::kUnknown) continue;
+    const double* s_row = tbl.SRow(i);
+    const double* cdf_row = tbl.CdfRow(i);
+    double* qu = ctx.QUpRow(i);
+    // Pass A: prod[j] = Π_{k≠i}(1 − D_k(e_j)) for the end-points the inner
+    // loop consumes (j < m). Unsafe lanes get a placeholder and a scalar
+    // fix-up via ProductExcluding's direct-product fallback.
+    // Count unsafe lanes in the FP domain — a mixed bool/int reduction
+    // defeats GCC 12's if-converter and de-vectorizes the whole loop.
+    double fallback = 0.0;
+    PV_SIMD_REDUCE(+ : fallback)
+    for (size_t j = 0; j < m; ++j) {
+      const double factor = 1.0 - cdf_row[j];
+      const bool safe = factor > 1e-8 && y[j] > 0.0;
+      prod[j] = std::min(1.0, y[j] / (safe ? factor : 1.0));
+      fallback += safe ? 0.0 : 1.0;
+    }
+    if (fallback != 0.0) {
+      for (size_t j = 0; j < m; ++j) {
+        if (!SubregionTable::DivideOutSafe(1.0 - cdf_row[j], y[j])) {
+          prod[j] = tbl.ProductExcluding(i, j);
+        }
+      }
+    }
+    // Pass B: Eq. 5 blend. pr_f + pr_e keeps the scalar operand order.
+    const size_t last = m - 1;  // omp-canonical bound for j + 1 < m
+    PV_SIMD
+    for (size_t j = 0; j < last; ++j) {
+      const bool part = s_row[j] > SubregionTable::kEps;
+      const double qup = 0.5 * (prod[j + 1] + prod[j]);
+      qu[j] = part && qup < qu[j] ? qup : qu[j];
+    }
+  }
+}
+
+}  // namespace
+
+void UsrVerifier::Apply(VerificationContext& ctx) {
+  if (SimdKernelsEnabled()) {
+    ApplySimd(ctx);
+  } else {
+    ApplyScalar(ctx);
+  }
+  ctx.RefreshAllBounds();
 }
 
 }  // namespace pverify

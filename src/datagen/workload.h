@@ -23,6 +23,33 @@ std::vector<double> MakeQueryPoints(size_t count, double lo, double hi,
 std::vector<Point2> MakeQueryPoints2D(size_t count, double lo, double hi,
                                       uint64_t seed = 103);
 
+/// Zipf-skewed hot-spot workload configuration. `num_hotspots` centers are
+/// drawn uniformly over the domain from the same seed as the points, and
+/// hotspot rank h is chosen with probability ∝ 1/(h+1)^exponent — the
+/// classic Zipf law, so the hottest center absorbs a constant fraction of
+/// all queries regardless of the hotspot count. Each query point scatters
+/// around its chosen center with a Gaussian of stddev
+/// `spread_fraction`·(hi − lo), clamped into the domain.
+struct ZipfConfig {
+  size_t num_hotspots = 16;
+  double exponent = 1.0;          ///< 0 degenerates to uniform-over-hotspots
+  double spread_fraction = 0.01;  ///< stddev as a fraction of the domain
+};
+
+/// Zipf-skewed query points over [lo, hi]. Models the repeated-hot-region
+/// access pattern of real query logs: most queries probe a few small
+/// regions (stressing the same candidate sets over and over), a long tail
+/// probes everywhere.
+std::vector<double> MakeQueryPointsZipf(size_t count, double lo, double hi,
+                                        const ZipfConfig& config = {},
+                                        uint64_t seed = 107);
+
+/// 2-D counterpart of MakeQueryPointsZipf: hotspot centers are uniform over
+/// the square, scatter is an isotropic Gaussian, both coordinates clamped.
+std::vector<Point2> MakeQueryPointsZipf2D(size_t count, double lo, double hi,
+                                          const ZipfConfig& config = {},
+                                          uint64_t seed = 109);
+
 /// Aggregated outcome of running a workload with one strategy.
 struct WorkloadResult {
   QueryStats totals;          ///< accumulated stats (AccumulateInto)

@@ -597,14 +597,15 @@ QueryResult ShardedQueryEngine::ScatterGather(Policy& policy,
   // point the worker's scratch is quiescent. Keep it that way: no nested
   // ParallelFor may ever run while scratch buffers are borrowed.
   //
-  // Telemetry caveat of the same mechanism: this wall timer keeps running
-  // while the worker drains/steals, so when MULTIPLE requests are in
-  // flight on the work-stealing pool a request's stats.total_ms can
-  // include stolen work executed on its stack (batch aggregates of
-  // per-query totals then over-report; batch wall_ms and the phase
-  // timings, which are measured inside the loop bodies, stay accurate).
-  // A single in-flight request — the latency-bench shape — has nothing
-  // else to steal, so its total_ms is exact.
+  // Telemetry companion of the same mechanism: the wall timer below keeps
+  // running while the worker drains/steals, so the pool's per-thread
+  // foreign-work clock is snapshotted around this request and its delta —
+  // time this thread spent executing OTHER requests' stolen tasks —
+  // subtracted from stats.total_ms. Without the correction, batch
+  // aggregates of per-query totals over-report whenever multiple requests
+  // are in flight on the work-stealing pool (the phase timings, measured
+  // inside the loop bodies, were always accurate).
+  const double foreign0 = pool_->ForeignWorkMsOnThisThread();
   Timer total;
   // Shard pruning, phase 0: shards whose bounds MINDIST exceeds the
   // policy's reachable-cut cap cannot contribute — skip them before any
@@ -674,6 +675,10 @@ QueryResult ShardedQueryEngine::ScatterGather(Policy& policy,
   for (double ms : build_ms) build_total += ms;
   QueryResult result = policy.Finish(std::move(merged), scratch,
                                      filter_total, build_total, total);
+  const double foreign = pool_->ForeignWorkMsOnThisThread() - foreign0;
+  if (foreign > 0.0) {
+    result.stats.total_ms = std::max(0.0, result.stats.total_ms - foreign);
+  }
 
   shard_visits_.fetch_add(visits, std::memory_order_relaxed);
   shards_pruned_.fetch_add(pruned, std::memory_order_relaxed);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/timer.h"
+
 namespace pverify {
 
 namespace {
@@ -12,6 +14,10 @@ namespace {
 /// slot suffices; CurrentWorkerId compares the pool pointer.
 thread_local WorkStealingPool* tls_pool = nullptr;
 thread_local size_t tls_id = WorkStealingPool::kNotAWorker;
+
+/// Per-thread foreign-work clock (see ForeignWorkMsOnThisThread). Plain
+/// thread_local: only this thread writes or reads it.
+thread_local double tls_foreign_ms = 0.0;
 
 }  // namespace
 
@@ -64,6 +70,10 @@ WorkStealingPool::~WorkStealingPool() {
 
 size_t WorkStealingPool::CurrentWorkerId() const {
   return tls_pool == this ? tls_id : kNotAWorker;
+}
+
+double WorkStealingPool::ForeignWorkMsOnThisThread() const {
+  return tls_foreign_ms;
 }
 
 void WorkStealingPool::Submit(PoolTask task) {
@@ -149,8 +159,23 @@ void WorkStealingPool::ParallelFor(
     // deque may still hold unstolen ones): drain and steal — executing
     // whatever work exists, including other loops' — until the latch
     // trips. Never block: that is what makes nesting deadlock-free.
+    //
+    // Every task picked up here is foreign to whatever this thread was
+    // timing (another query's runner, an injected task — at best a leftover
+    // runner of this very loop that finds the cursor exhausted and returns
+    // in nanoseconds), so its wall time goes on the thread's foreign-work
+    // clock. Writing `before + elapsed` rather than `+= elapsed` makes the
+    // charge net of any bumps the task's own nested drains performed —
+    // those are already inside `elapsed` — so nested stealing never
+    // double-counts.
     while (state.pending.load(std::memory_order_acquire) != 0) {
-      if (!RunOneTask(self)) std::this_thread::yield();
+      const double before = tls_foreign_ms;
+      Timer drained;
+      if (!RunOneTask(self)) {
+        std::this_thread::yield();
+        continue;
+      }
+      tls_foreign_ms = before + drained.ElapsedMs();
     }
   } else {
     for (size_t t = 0; t < spawned; ++t) {

@@ -189,6 +189,13 @@ class WorkStealingPool : public WorkerPool {
   /// The calling thread's stable worker id in this pool, or kNotAWorker.
   size_t CurrentWorkerId() const;
 
+  /// Time this thread spent running drained/stolen foreign tasks while
+  /// blocked in nested ParallelFor calls (see WorkerPool). Maintained in
+  /// the drain loop of ParallelFor: each foreign task's wall time is added
+  /// net of the bumps its own nested drains made, so a stolen whole-query
+  /// task that itself steals is charged exactly once.
+  double ForeignWorkMsOnThisThread() const override;
+
   /// Lifetime telemetry: tasks executed from the owner's own deque vs.
   /// stolen from another worker's (approximate; relaxed counters).
   size_t TasksRunLocally() const {

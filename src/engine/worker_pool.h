@@ -61,6 +61,15 @@ class WorkerPool {
   virtual void ParallelFor(
       size_t n, const std::function<void(size_t worker, size_t index)>& fn) = 0;
 
+  /// Milliseconds the CALLING thread has spent executing other tasks'
+  /// work while blocked inside one of this pool's ParallelFor calls (a
+  /// nesting-safe pool drains/steals foreign tasks instead of blocking).
+  /// Monotone per thread; callers snapshot it around a timed section and
+  /// subtract the delta so per-query timings stop charging stolen work to
+  /// the query that happened to be blocked. Pools that never run foreign
+  /// work on a blocked caller report 0.
+  virtual double ForeignWorkMsOnThisThread() const { return 0.0; }
+
  protected:
   WorkerPool() = default;
   WorkerPool(const WorkerPool&) = delete;

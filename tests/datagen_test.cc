@@ -1,9 +1,12 @@
 #include "datagen/synthetic.h"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "datagen/workload.h"
 
 namespace pverify {
@@ -166,6 +169,129 @@ TEST(WorkloadTest, QueryPointsInRange) {
   for (double p : pts) {
     EXPECT_GE(p, 3.0);
     EXPECT_LT(p, 7.0);
+  }
+}
+
+TEST(WorkloadTest, ZipfPointsStayInDomainAndAreDeterministic) {
+  datagen::ZipfConfig config;
+  auto a = datagen::MakeQueryPointsZipf(400, 2.0, 12.0, config, 5);
+  auto b = datagen::MakeQueryPointsZipf(400, 2.0, 12.0, config, 5);
+  auto c = datagen::MakeQueryPointsZipf(400, 2.0, 12.0, config, 6);
+  ASSERT_EQ(a.size(), 400u);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (double p : a) {
+    EXPECT_GE(p, 2.0);
+    EXPECT_LE(p, 12.0);
+  }
+}
+
+TEST(WorkloadTest, ZipfPointsConcentrateOnTheHotHotspot) {
+  // With exponent 1 and 16 hotspots the rank-0 center's weight is
+  // 1/H_16 ≈ 0.296 of all draws — far above the uniform 1/16. Attribute
+  // each point to its nearest center (the scatter stddev is 1% of the
+  // domain, so attribution is essentially exact) and check both the skew
+  // and that the tail hotspots still receive queries.
+  datagen::ZipfConfig config;
+  config.num_hotspots = 16;
+  config.exponent = 1.0;
+  config.spread_fraction = 0.002;
+  const double lo = 0.0, hi = 10000.0;
+  const size_t n = 4000;
+  auto pts = datagen::MakeQueryPointsZipf(n, lo, hi, config, 77);
+
+  // Centers are the first num_hotspots draws from the same seeded stream.
+  Rng rng(77);
+  std::vector<double> centers(config.num_hotspots);
+  for (double& c : centers) c = rng.Uniform(lo, hi);
+
+  std::vector<size_t> hits(config.num_hotspots, 0);
+  for (double p : pts) {
+    size_t best = 0;
+    for (size_t h = 1; h < centers.size(); ++h) {
+      if (std::abs(p - centers[h]) < std::abs(p - centers[best])) best = h;
+    }
+    ++hits[best];
+  }
+  const double top = static_cast<double>(hits[0]) / static_cast<double>(n);
+  EXPECT_GT(top, 0.2) << "rank-0 hotspot should absorb ~30% of queries";
+  EXPECT_LT(top, 0.45);
+  size_t touched = 0;
+  for (size_t h : hits) touched += h > 0 ? 1 : 0;
+  EXPECT_GE(touched, 12u) << "the Zipf tail should still be sampled";
+}
+
+TEST(WorkloadTest, Zipf2DPointsStayInDomainAndSkew) {
+  datagen::ZipfConfig config;
+  config.num_hotspots = 8;
+  config.exponent = 1.2;
+  config.spread_fraction = 0.002;
+  const double lo = 0.0, hi = 1000.0;
+  const size_t n = 3000;
+  auto pts = datagen::MakeQueryPointsZipf2D(n, lo, hi, config, 21);
+  ASSERT_EQ(pts.size(), n);
+  for (const Point2& p : pts) {
+    EXPECT_GE(p.x, lo);
+    EXPECT_LE(p.x, hi);
+    EXPECT_GE(p.y, lo);
+    EXPECT_LE(p.y, hi);
+  }
+
+  Rng rng(21);
+  std::vector<Point2> centers(config.num_hotspots);
+  for (Point2& c : centers) {
+    c.x = rng.Uniform(lo, hi);
+    c.y = rng.Uniform(lo, hi);
+  }
+  std::vector<size_t> hits(config.num_hotspots, 0);
+  for (const Point2& p : pts) {
+    size_t best = 0;
+    double best_d = 1e300;
+    for (size_t h = 0; h < centers.size(); ++h) {
+      const double dx = p.x - centers[h].x;
+      const double dy = p.y - centers[h].y;
+      const double d = dx * dx + dy * dy;
+      if (d < best_d) {
+        best_d = d;
+        best = h;
+      }
+    }
+    ++hits[best];
+  }
+  // Rank 0 carries weight 1/Σ(r+1)^-1.2 ≈ 0.38 at H=8, s=1.2.
+  const double top = static_cast<double>(hits[0]) / static_cast<double>(n);
+  EXPECT_GT(top, 0.25);
+  // Deterministic per seed.
+  auto again = datagen::MakeQueryPointsZipf2D(n, lo, hi, config, 21);
+  ASSERT_EQ(again.size(), pts.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(pts[i].x, again[i].x);
+    EXPECT_EQ(pts[i].y, again[i].y);
+  }
+}
+
+TEST(WorkloadTest, ZipfExponentZeroDegeneratesToUniformOverHotspots) {
+  datagen::ZipfConfig config;
+  config.num_hotspots = 4;
+  config.exponent = 0.0;
+  config.spread_fraction = 0.001;
+  const size_t n = 4000;
+  auto pts = datagen::MakeQueryPointsZipf(n, 0.0, 1000.0, config, 9);
+  Rng rng(9);
+  std::vector<double> centers(config.num_hotspots);
+  for (double& c : centers) c = rng.Uniform(0.0, 1000.0);
+  std::vector<size_t> hits(config.num_hotspots, 0);
+  for (double p : pts) {
+    size_t best = 0;
+    for (size_t h = 1; h < centers.size(); ++h) {
+      if (std::abs(p - centers[h]) < std::abs(p - centers[best])) best = h;
+    }
+    ++hits[best];
+  }
+  for (size_t h : hits) {
+    const double share = static_cast<double>(h) / static_cast<double>(n);
+    EXPECT_GT(share, 0.15);  // uniform share is 0.25
+    EXPECT_LT(share, 0.35);
   }
 }
 

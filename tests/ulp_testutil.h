@@ -1,0 +1,52 @@
+// ULP-distance equivalence helpers, shared by tests that compare the
+// scalar reference kernels against the restructured/vectorized
+// (PVERIFY_SIMD) kernels. The SIMD contract: per-slot q_ij values are
+// bit-identical (the masked kernels perform the scalar path's exact
+// operations in the same order); only `omp simd` reduction reassociation
+// in the Eq. 4 bound refresh may move a result by a few ULP. Tests that
+// pin such values therefore assert ULP distance, not bit equality — and
+// keep the budget tight (64 ULP ≈ 1e-14 relative) so a real numerics
+// regression still fails.
+#ifndef PVERIFY_TESTS_ULP_TESTUTIL_H_
+#define PVERIFY_TESTS_ULP_TESTUTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace pverify {
+namespace testutil {
+
+/// Maps a double onto the integers so adjacent representable values are
+/// adjacent keys (the standard sign-magnitude → offset-binary trick).
+inline uint64_t UlpOrderedKey(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  const uint64_t sign = uint64_t{1} << 63;
+  return (bits & sign) != 0 ? ~bits : bits | sign;
+}
+
+/// Units-in-the-last-place between two doubles. 0 for equal values
+/// (including +0 vs -0); the max uint64_t when either input is NaN, so a
+/// NaN never slips through a tolerance check.
+inline uint64_t UlpDistance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  if (a == b) return 0;
+  const uint64_t ka = UlpOrderedKey(a);
+  const uint64_t kb = UlpOrderedKey(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+}  // namespace testutil
+}  // namespace pverify
+
+/// EXPECT that two doubles are within `max_ulps` units in the last place.
+#define EXPECT_ULP_NEAR(val1, val2, max_ulps)                       \
+  EXPECT_LE(::pverify::testutil::UlpDistance((val1), (val2)),       \
+            static_cast<uint64_t>(max_ulps))                        \
+      << #val1 " = " << (val1) << " vs " << #val2 " = " << (val2)
+
+#endif  // PVERIFY_TESTS_ULP_TESTUTIL_H_

@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/timer.h"
 #include "engine/worker_pool.h"
 
 namespace pverify {
@@ -267,6 +268,52 @@ TEST(WorkStealPoolTest, RandomizedNestedStress) {
   pool.WaitIdle();
   EXPECT_EQ(work.load(), expected_work);
   EXPECT_EQ(submitted.load(), expected_submitted);
+}
+
+// Foreign (drained/stolen) task time lands on the draining thread's
+// foreign-work clock, so engines can subtract it from a blocked query's
+// wall time instead of billing another query's work to it. The
+// choreography pins a deterministic drain: the caller worker ends up in
+// its nested loop's drain phase while the other worker holds the loop's
+// last runner hostage, so the only runnable task anywhere — a ~20 ms
+// foreign submission — must be executed by the blocked caller.
+TEST(WorkStealPoolTest, DrainedForeignTaskTimeIsAccounted) {
+  WorkStealingPool pool(2);
+  std::atomic<bool> helper_started{false};
+  std::atomic<bool> foreign_ran{false};
+  std::atomic<double> foreign_delta{-1.0};
+  constexpr double kBusyMs = 20.0;
+
+  pool.Submit([&](size_t caller) {
+    const double before = pool.ForeignWorkMsOnThisThread();
+    pool.ParallelFor(2, [&](size_t worker, size_t) {
+      if (worker == caller) {
+        // Participant role: hold this index until the helper owns one, so
+        // the caller cannot exhaust the loop alone and skip the drain.
+        while (!helper_started.load()) std::this_thread::yield();
+      } else {
+        // Helper role: keep the loop latch up until the foreign task has
+        // run; the blocked caller then has nothing else to drain.
+        helper_started.store(true);
+        while (!foreign_ran.load()) std::this_thread::yield();
+      }
+    });
+    foreign_delta.store(pool.ForeignWorkMsOnThisThread() - before);
+  });
+
+  // Once the helper pins the loop open, hand the pool a foreign task that
+  // only the blocked caller's drain loop can pick up.
+  while (!helper_started.load()) std::this_thread::yield();
+  pool.Submit([&] {
+    Timer busy;
+    while (busy.ElapsedMs() < kBusyMs) {
+    }
+    foreign_ran.store(true);
+  });
+  pool.WaitIdle();
+  EXPECT_GE(foreign_delta.load(), kBusyMs * 0.9);
+  // A thread outside the pool never drains foreign work.
+  EXPECT_EQ(pool.ForeignWorkMsOnThisThread(), 0.0);
 }
 
 TEST(WorkStealPoolTest, FactoryAndKinds) {
