@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Enforce a line-coverage floor over a path slice of an lcov tracefile.
+#
+#   ci/check_coverage.sh TRACEFILE PATH_SUBSTR FLOOR_PCT
+#
+# Sums the LF (lines instrumented) / LH (lines hit) records of every file
+# whose SF: path contains PATH_SUBSTR and fails when the aggregate line
+# coverage drops below FLOOR_PCT. Parses the tracefile itself instead of
+# shelling out to `lcov --summary`, so the check works with any tracefile
+# producer (lcov, gcovr --lcov, ...) and its math is testable without lcov
+# installed.
+set -eu
+
+if [ "$#" -ne 3 ]; then
+  echo "usage: $0 TRACEFILE PATH_SUBSTR FLOOR_PCT" >&2
+  exit 2
+fi
+
+tracefile=$1
+slice=$2
+floor=$3
+
+if [ ! -r "$tracefile" ]; then
+  echo "check_coverage: cannot read tracefile '$tracefile'" >&2
+  exit 2
+fi
+
+awk -v slice="$slice" -v floor="$floor" '
+  /^SF:/  { in_slice = index($0, slice) > 0 }
+  /^LF:/  { if (in_slice) lf += substr($0, 4) }
+  /^LH:/  { if (in_slice) lh += substr($0, 4) }
+  END {
+    if (lf == 0) {
+      printf "check_coverage: no instrumented lines match \"%s\"\n", slice
+      exit 2
+    }
+    pct = 100.0 * lh / lf
+    printf "coverage[%s]: %d/%d lines = %.1f%% (floor %.1f%%)\n", \
+           slice, lh, lf, pct, floor
+    if (pct < floor) {
+      printf "check_coverage: %.1f%% is below the %.1f%% floor\n", pct, floor
+      exit 1
+    }
+  }
+' "$tracefile"

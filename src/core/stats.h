@@ -50,6 +50,11 @@ struct QueryStats {
   size_t refined_candidates = 0;
   size_t subregion_integrations = 0;
 
+  /// True when this result was served from a CachingEngine's memo instead
+  /// of being recomputed. The phase timings above then describe the
+  /// execution that originally produced the cached result.
+  bool served_from_cache = false;
+
   void AccumulateInto(QueryStats& total) const {
     total.filter_ms += filter_ms;
     total.init_ms += init_ms;

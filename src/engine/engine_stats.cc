@@ -29,6 +29,7 @@ void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg) {
   ++agg->queries;
   stats.AccumulateInto(agg->totals);
   AccumulateVerifierStages(stats, agg);
+  if (stats.served_from_cache) ++agg->cache.hits;
 }
 
 EngineStats MergeEngineStats(const std::vector<EngineStats>& parts) {
@@ -43,6 +44,14 @@ EngineStats MergeEngineStats(const std::vector<EngineStats>& parts) {
       slot->ms += stage.ms;
       slot->runs += stage.runs;
     }
+    merged.cache.hits += part.cache.hits;
+    merged.cache.misses += part.cache.misses;
+    merged.cache.rechecks += part.cache.rechecks;
+    merged.cache.bypasses += part.cache.bypasses;
+    merged.cache.evictions += part.cache.evictions;
+    merged.cache.invalidations += part.cache.invalidations;
+    merged.cache.entries = std::max(merged.cache.entries, part.cache.entries);
+    merged.cache.bytes = std::max(merged.cache.bytes, part.cache.bytes);
   }
   return merged;
 }

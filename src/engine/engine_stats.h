@@ -15,6 +15,29 @@
 
 namespace pverify {
 
+/// Telemetry of a CachingEngine's memoization tier. Counters describe an
+/// interval (a batch delta or the cache's lifetime); entries/bytes are
+/// point-in-time gauges of the cache contents.
+struct CacheStats {
+  size_t hits = 0;       ///< requests served straight from the cache
+  size_t misses = 0;     ///< no entry for the request's key
+  size_t rechecks = 0;   ///< entry found but unusable (borderline hit,
+                         ///< fingerprint mismatch, stale epoch) — the
+                         ///< backend recomputed and the entry was refreshed
+  size_t bypasses = 0;   ///< uncacheable requests (consumed candidate-set
+                         ///< payloads, capacity 0) passed straight through
+  size_t evictions = 0;      ///< entries dropped by the LRU policy
+  size_t invalidations = 0;  ///< entries dropped by dataset-epoch bumps
+  size_t entries = 0;        ///< gauge: results currently cached
+  size_t bytes = 0;          ///< gauge: approximate heap held by them
+
+  /// Fraction of cacheable lookups served from the cache.
+  double HitRate() const {
+    const size_t lookups = hits + misses + rechecks;
+    return lookups > 0 ? static_cast<double>(hits) / lookups : 0.0;
+  }
+};
+
 /// Aggregate outcome of one ExecuteBatch call.
 struct EngineStats {
   size_t queries = 0;
@@ -32,6 +55,12 @@ struct EngineStats {
     size_t runs = 0;
   };
   std::vector<StageTotal> verifier_stages;
+
+  /// Cache telemetry of the batch: zero unless a CachingEngine served it.
+  /// AccumulateBatchResult counts hits from each result's served_from_cache
+  /// flag; CachingEngine::ExecuteBatch overwrites the whole struct with its
+  /// exact per-batch counter deltas plus the entries/bytes gauges.
+  CacheStats cache;
 
   double QueriesPerSec() const {
     return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms
@@ -56,9 +85,11 @@ void AccumulateVerifierStages(const QueryStats& stats, EngineStats* agg);
 void AccumulateBatchResult(const QueryStats& stats, EngineStats* agg);
 
 /// Merges per-part aggregates (e.g. one EngineStats per shard) into one:
-/// queries, phase totals and verifier stage totals sum exactly (stages
-/// matched by name, ordered by first appearance across parts); threads and
-/// wall_ms take the max, since parts run concurrently. Merging an empty
+/// queries, phase totals, verifier stage totals and cache counters sum
+/// exactly (stages matched by name, ordered by first appearance across
+/// parts); threads, wall_ms and the cache entries/bytes gauges take the
+/// max, since parts run concurrently (per-batch gauges from one cache are
+/// snapshots of the same contents, not disjoint shares). Merging an empty
 /// vector yields a zero aggregate whose derived rates are all finite.
 EngineStats MergeEngineStats(const std::vector<EngineStats>& parts);
 

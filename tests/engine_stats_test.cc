@@ -47,6 +47,15 @@ EngineStats RandomPart(Rng& rng) {
     stage.runs = static_cast<size_t>(rng.UniformInt(1, 30));
     part.verifier_stages.push_back(stage);
   }
+  // Cache telemetry, as a CachingEngine batch delta would carry.
+  part.cache.hits = static_cast<size_t>(rng.UniformInt(0, 30));
+  part.cache.misses = static_cast<size_t>(rng.UniformInt(0, 30));
+  part.cache.rechecks = static_cast<size_t>(rng.UniformInt(0, 10));
+  part.cache.bypasses = static_cast<size_t>(rng.UniformInt(0, 10));
+  part.cache.evictions = static_cast<size_t>(rng.UniformInt(0, 10));
+  part.cache.invalidations = static_cast<size_t>(rng.UniformInt(0, 10));
+  part.cache.entries = static_cast<size_t>(rng.UniformInt(0, 100));
+  part.cache.bytes = static_cast<size_t>(rng.UniformInt(0, 1 << 20));
   return part;
 }
 
@@ -122,6 +131,33 @@ TEST(EngineStatsTest, MergeSumsPhaseAndStageTotalsExactly) {
       EXPECT_EQ(slots, want_runs > 0 ? 1u : 0u) << name;
     }
 
+    // Cache counters sum exactly; the entries/bytes gauges take the max
+    // (per-part gauges snapshot the same cache, not disjoint shares).
+    size_t hits = 0, misses = 0, rechecks = 0, bypasses = 0;
+    size_t evictions = 0, invalidations = 0, entries = 0, bytes = 0;
+    for (const EngineStats& part : parts) {
+      hits += part.cache.hits;
+      misses += part.cache.misses;
+      rechecks += part.cache.rechecks;
+      bypasses += part.cache.bypasses;
+      evictions += part.cache.evictions;
+      invalidations += part.cache.invalidations;
+      entries = std::max(entries, part.cache.entries);
+      bytes = std::max(bytes, part.cache.bytes);
+    }
+    EXPECT_EQ(merged.cache.hits, hits);
+    EXPECT_EQ(merged.cache.misses, misses);
+    EXPECT_EQ(merged.cache.rechecks, rechecks);
+    EXPECT_EQ(merged.cache.bypasses, bypasses);
+    EXPECT_EQ(merged.cache.evictions, evictions);
+    EXPECT_EQ(merged.cache.invalidations, invalidations);
+    EXPECT_EQ(merged.cache.entries, entries);
+    EXPECT_EQ(merged.cache.bytes, bytes);
+    // HitRate is a fraction of cacheable lookups, finite and in [0, 1].
+    EXPECT_TRUE(std::isfinite(merged.cache.HitRate()));
+    EXPECT_GE(merged.cache.HitRate(), 0.0);
+    EXPECT_LE(merged.cache.HitRate(), 1.0);
+
     // Derived rates are always finite.
     EXPECT_TRUE(std::isfinite(merged.QueriesPerSec()));
     EXPECT_TRUE(std::isfinite(merged.AvgQueryMs()));
@@ -186,6 +222,31 @@ TEST(EngineStatsTest, AccumulateBatchResultMatchesManualFold) {
   EXPECT_EQ(agg.verifier_stages[0].name, "RS");
   EXPECT_EQ(agg.verifier_stages[0].ms, 0.5);
   EXPECT_EQ(agg.verifier_stages[0].runs, 2u);
+  // Results that were served from a cache count as hits in the fold.
+  EXPECT_EQ(agg.cache.hits, 0u);
+  qs.served_from_cache = true;
+  AccumulateBatchResult(qs, &agg);
+  AccumulateBatchResult(qs, &agg);
+  EXPECT_EQ(agg.cache.hits, 2u);
+  EXPECT_EQ(agg.queries, 4u);
+}
+
+// CacheStats::HitRate edge cases: no lookups at all (only bypasses) keeps
+// the rate a finite zero; rechecks count as non-hit lookups.
+TEST(EngineStatsTest, CacheHitRateEdgeCases) {
+  CacheStats none;
+  none.bypasses = 12;
+  EXPECT_EQ(none.HitRate(), 0.0);
+
+  CacheStats some;
+  some.hits = 3;
+  some.misses = 1;
+  some.rechecks = 2;
+  EXPECT_DOUBLE_EQ(some.HitRate(), 0.5);
+
+  CacheStats all;
+  all.hits = 7;
+  EXPECT_DOUBLE_EQ(all.HitRate(), 1.0);
 }
 
 // End-to-end merge over REAL engine aggregates: two mixed-kind variant

@@ -9,6 +9,7 @@
 
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
+#include "differential_testutil.h"
 
 namespace pverify {
 namespace {
@@ -47,50 +48,68 @@ void ExpectIdenticalAnswer(const QueryAnswer& expected,
   }
 }
 
+// Four-thread batches — under both worker-pool implementations — must
+// answer bit for bit like the single-threaded reference for every
+// strategy; only scheduling may differ. Ported onto the differential
+// harness (tests/differential_testutil.h), max_ulps 0 = bit identity.
 TEST(QueryEngineTest, BatchAtFourThreadsMatchesSequentialAllStrategies) {
   Dataset data = TestDataset();
-  CpnnExecutor sequential(data);
-  EngineOptions eopt;
-  eopt.num_threads = 4;
-  QueryEngine engine(data, eopt);
-  ASSERT_EQ(engine.num_threads(), 4u);
+  QueryEngine reference(data, EngineOptions{1});
+
+  EngineOptions queue_opt;
+  queue_opt.num_threads = 4;
+  queue_opt.pool = PoolKind::kGlobalQueue;
+  QueryEngine queue_engine(data, queue_opt);
+  EngineOptions steal_opt;
+  steal_opt.num_threads = 4;
+  steal_opt.pool = PoolKind::kWorkStealing;
+  QueryEngine steal_engine(data, steal_opt);
+  ASSERT_EQ(queue_engine.num_threads(), 4u);
+  ASSERT_EQ(steal_engine.num_threads(), 4u);
 
   const std::vector<double> points = TestQueryPoints();
   for (Strategy strategy : {Strategy::kBasic, Strategy::kRefine,
                             Strategy::kVR, Strategy::kMonteCarlo}) {
-    QueryOptions opt = OptionsFor(strategy);
-    std::vector<QueryRequest> batch;
-    for (double q : points) batch.push_back(PointQuery{q, opt});
-    std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
-    ASSERT_EQ(results.size(), points.size());
-    for (size_t i = 0; i < points.size(); ++i) {
-      QueryAnswer expected = sequential.Execute(points[i], opt);
-      ExpectIdenticalAnswer(expected, results[i], ToString(strategy).data());
+    const QueryOptions opt = OptionsFor(strategy);
+    std::vector<testutil::RequestFactory> stream;
+    for (double q : points) {
+      stream.push_back([q, opt] { return QueryRequest(PointQuery{q, opt}); });
     }
+    testutil::RunDifferentialStream(
+        reference,
+        {{std::string("global-queue ") + ToString(strategy).data(),
+          &queue_engine},
+         {std::string("work-stealing ") + ToString(strategy).data(),
+          &steal_engine}},
+        stream);
   }
 }
 
-// Both worker-pool implementations (EngineOptions::pool) must answer bit
-// for bit like the sequential executor — only scheduling may differ.
-TEST(QueryEngineTest, BatchBitIdenticalAcrossPoolKinds) {
+// The full mixed-kind contract across pool kinds: a randomized stream of
+// point/min/max/knn requests answers identically on both pools, through
+// ExecuteBatch and the coalescing Submit path.
+TEST(QueryEngineTest, MixedStreamBitIdenticalAcrossPoolKinds) {
   Dataset data = TestDataset(300);
-  CpnnExecutor sequential(data);
-  const std::vector<double> points = TestQueryPoints(12);
+  QueryEngine reference(data, EngineOptions{1});
   const QueryOptions opt = OptionsFor(Strategy::kVR);
-  for (PoolKind kind : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
-    EngineOptions eopt;
-    eopt.num_threads = 4;
-    eopt.pool = kind;
-    QueryEngine engine(data, eopt);
-    std::vector<QueryRequest> batch;
-    for (double q : points) batch.push_back(PointQuery{q, opt});
-    std::vector<QueryResult> results = engine.ExecuteBatch(std::move(batch));
-    ASSERT_EQ(results.size(), points.size());
-    for (size_t i = 0; i < points.size(); ++i) {
-      QueryAnswer expected = sequential.Execute(points[i], opt);
-      ExpectIdenticalAnswer(expected, results[i], ToString(kind).data());
-    }
-  }
+  const std::vector<testutil::RequestFactory> stream =
+      testutil::MakeMixedKindStream(TestQueryPoints(12), opt);
+
+  EngineOptions queue_opt;
+  queue_opt.num_threads = 4;
+  queue_opt.pool = PoolKind::kGlobalQueue;
+  QueryEngine queue_engine(data, queue_opt);
+  EngineOptions steal_opt;
+  steal_opt.num_threads = 4;
+  steal_opt.pool = PoolKind::kWorkStealing;
+  QueryEngine steal_engine(data, steal_opt);
+
+  testutil::DifferentialConfig config;
+  config.exercise_submit = true;
+  testutil::RunDifferentialStream(reference,
+                                  {{"global-queue", &queue_engine},
+                                   {"work-stealing", &steal_engine}},
+                                  stream, config);
 }
 
 TEST(QueryEngineTest, MixedKindBatchMatchesDirectCalls) {

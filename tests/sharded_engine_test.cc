@@ -7,6 +7,7 @@
 #include <cmath>
 #include <functional>
 #include <future>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -14,6 +15,7 @@
 
 #include "datagen/synthetic.h"
 #include "datagen/workload.h"
+#include "differential_testutil.h"
 
 namespace pverify {
 namespace {
@@ -62,26 +64,6 @@ void ExpectIdenticalResult(const QueryResult& expected,
   EXPECT_EQ(expected.stats.candidates, got.stats.candidates) << what;
 }
 
-// Builds the mixed-kind batch covering all five QueryKinds at several query
-// points. `reference` supplies the candidate-set payloads so both engines
-// receive identical kCandidates requests.
-std::vector<QueryRequest> MixedBatch(const CpnnExecutor& reference,
-                                     const std::vector<double>& points,
-                                     const QueryOptions& opt) {
-  std::vector<QueryRequest> batch;
-  for (double q : points) batch.push_back(PointQuery{q, opt});
-  batch.push_back(MinQuery{opt});
-  batch.push_back(MaxQuery{opt});
-  for (double q : points) batch.push_back(KnnQuery{q, 3, opt});
-  for (double q : points) {
-    FilterResult filtered = reference.Filter(q);
-    batch.push_back(CandidatesQuery(
-        CandidateSet::Build1D(reference.dataset(), filtered.candidates, q),
-        opt));
-  }
-  return batch;
-}
-
 TEST(ShardedEngineTest, AllKindsBitIdenticalAcrossShardCountsAndPolicies) {
   // Randomized datasets: overlap-heavy uniform scatter and a clustered
   // Long-Beach-like layout, several seeds each.
@@ -107,30 +89,40 @@ TEST(ShardedEngineTest, AllKindsBitIdenticalAcrossShardCountsAndPolicies) {
     const QueryOptions opt = OptionsFor(Strategy::kVR);
 
     QueryEngine reference(data, EngineOptions{2});
-    std::vector<QueryResult> expected = reference.ExecuteBatch(
-        MixedBatch(reference.executor(), points, opt));
 
+    // The randomized mixed-kind stream plus candidate-set requests whose
+    // payloads the reference executor rebuilds per invocation (requests
+    // are move-only and consumed on execute).
+    std::vector<testutil::RequestFactory> stream =
+        testutil::MakeMixedKindStream(points, opt, /*seed=*/5 + d);
+    const CpnnExecutor& exec = reference.executor();
+    for (double q : points) {
+      stream.push_back([&exec, q, opt] {
+        FilterResult filtered = exec.Filter(q);
+        return QueryRequest(CandidatesQuery(
+            CandidateSet::Build1D(exec.dataset(), filtered.candidates, q),
+            opt));
+      });
+    }
+
+    // The sharded variants: 1/2/4-way under both sharding policies. All
+    // must answer bit-identically to the unsharded reference.
+    std::vector<std::unique_ptr<ShardedQueryEngine>> variants;
+    std::vector<testutil::NamedEngine> named;
     for (size_t shards : {1u, 2u, 4u}) {
-      for (const std::string& policy : {"hash", "range"}) {
+      for (const char* policy : {"hash", "range"}) {
         ShardedEngineOptions sopt;
         sopt.num_shards = shards;
         sopt.policy = MakePolicy(policy, data);
         sopt.num_threads = 2;
-        ShardedQueryEngine sharded(data, sopt);
-        ASSERT_EQ(sharded.num_shards(), shards);
-
-        std::vector<QueryResult> got = sharded.ExecuteBatch(
-            MixedBatch(reference.executor(), points, opt));
-        ASSERT_EQ(expected.size(), got.size());
-        for (size_t i = 0; i < expected.size(); ++i) {
-          ExpectIdenticalResult(
-              expected[i], got[i],
-              "dataset " + std::to_string(d) + " shards " +
-                  std::to_string(shards) + " policy " + policy + " request " +
-                  std::to_string(i));
-        }
+        variants.push_back(std::make_unique<ShardedQueryEngine>(data, sopt));
+        ASSERT_EQ(variants.back()->num_shards(), shards);
+        named.push_back({"dataset " + std::to_string(d) + " shards " +
+                             std::to_string(shards) + " policy " + policy,
+                         variants.back().get()});
       }
     }
+    testutil::RunDifferentialStream(reference, named, stream);
   }
 }
 
@@ -294,40 +286,37 @@ TEST(ShardedEngineTest, PoolKindsBitIdenticalIncludingNestedScatter) {
   const std::vector<double> points =
       datagen::MakeQueryPoints(4, 0.0, 250.0, /*seed=*/41);
 
-  std::vector<QueryResult> expected =
-      reference.ExecuteBatch(MixedBatch(reference.executor(), points, opt));
+  std::vector<testutil::RequestFactory> stream =
+      testutil::MakeMixedKindStream(points, opt, /*seed=*/23);
+  const CpnnExecutor& exec = reference.executor();
+  for (double q : points) {
+    stream.push_back([&exec, q, opt] {
+      FilterResult filtered = exec.Filter(q);
+      return QueryRequest(CandidatesQuery(
+          CandidateSet::Build1D(exec.dataset(), filtered.candidates, q),
+          opt));
+    });
+  }
 
+  std::vector<std::unique_ptr<ShardedQueryEngine>> variants;
+  std::vector<testutil::NamedEngine> named;
   for (PoolKind kind : {PoolKind::kGlobalQueue, PoolKind::kWorkStealing}) {
     ShardedEngineOptions sopt;
     sopt.num_shards = 4;
     sopt.num_threads = 4;
     sopt.pool = kind;
-    ShardedQueryEngine sharded(data, sopt);
-    ASSERT_EQ(sharded.pool().kind(), kind);
-    ASSERT_EQ(sharded.pool().SupportsNestedParallelFor(),
+    variants.push_back(std::make_unique<ShardedQueryEngine>(data, sopt));
+    ASSERT_EQ(variants.back()->pool().kind(), kind);
+    ASSERT_EQ(variants.back()->pool().SupportsNestedParallelFor(),
               kind == PoolKind::kWorkStealing);
-
-    std::vector<QueryResult> got =
-        sharded.ExecuteBatch(MixedBatch(reference.executor(), points, opt));
-    ASSERT_EQ(expected.size(), got.size());
-    for (size_t i = 0; i < expected.size(); ++i) {
-      ExpectIdenticalResult(expected[i], got[i],
-                            std::string(ToString(kind)) + " request " +
-                                std::to_string(i));
-    }
-
-    // The Submit path (dispatcher-coalesced batches) nests too.
-    std::vector<std::future<QueryResult>> futures;
-    for (double q : points) {
-      futures.push_back(sharded.Submit(PointQuery{q, opt}));
-    }
-    for (size_t i = 0; i < points.size(); ++i) {
-      ExpectIdenticalResult(reference.Execute(PointQuery{points[i], opt}),
-                            futures[i].get(),
-                            std::string(ToString(kind)) + " submit " +
-                                std::to_string(i));
-    }
+    named.push_back({std::string(ToString(kind)), variants.back().get()});
   }
+
+  // exercise_submit covers the dispatcher-coalesced batches, which run the
+  // nested shard scatter too.
+  testutil::DifferentialConfig config;
+  config.exercise_submit = true;
+  testutil::RunDifferentialStream(reference, named, stream, config);
 }
 
 TEST(ShardedEngineTest, DegenerateShapesMatchUnsharded) {

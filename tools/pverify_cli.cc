@@ -14,6 +14,9 @@
 //   --async            drive the run through Submit() futures (coalesced)
 //   --pool=steal|queue worker pool: work-stealing (default; nested shard
 //                      fan-out) or the simple global queue
+//   --cache=N          wrap the engine in a CachingEngine memoizing up to
+//                      N results (exact answers; see caching_engine.h) and
+//                      replay the batch once warm to show the hit path
 //   --dim=2            2-D workload: <dataset> becomes an object count and
 //                      a synthetic 2-D dataset + query workload is
 //                      generated (engine-native kPoint2D requests); the
@@ -33,6 +36,7 @@
 #include "datagen/dataset_io.h"
 #include "datagen/partition.h"
 #include "datagen/workload.h"
+#include "engine/caching_engine.h"
 #include "engine/engine.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
@@ -54,8 +58,11 @@ int Usage() {
       "[tolerance]\n"
       "               [--shards=N] [--policy=hash|range] [--async] "
       "[--dim=2] [--pool=steal|queue]\n"
+      "               [--cache=N]\n"
       "               (--dim=2 reads <dataset> as a synthetic 2-D object "
-      "count)\n");
+      "count;\n"
+      "                --cache=N memoizes up to N results and replays the "
+      "batch warm)\n");
   return 2;
 }
 
@@ -66,6 +73,7 @@ struct BatchFlags {
   bool async = false;
   int dim = 1;  ///< 2 = synthetic 2-D workload through kPoint2D
   PoolKind pool = PoolKind::kWorkStealing;
+  size_t cache = 0;  ///< 0 = no caching tier; N = CachingEngine capacity
 };
 
 double ParseDouble(const char* s) {
@@ -212,6 +220,7 @@ std::unique_ptr<Engine> MakeBatchEngine(
 // when applicable, report. The engine is only ever touched as Engine&.
 template <typename Point>
 int RunBatchOnEngine(Engine& engine, ShardedQueryEngine* sharded,
+                     CachingEngine* cache,
                      const bench::ThroughputPoint& seq,
                      const std::vector<Point>& points,
                      const QueryOptions& opt, const BatchFlags& flags,
@@ -225,6 +234,25 @@ int RunBatchOnEngine(Engine& engine, ShardedQueryEngine* sharded,
                 "%zu pruned by bounds\n",
                 sharded->num_shards(), sharded->policy().name().data(),
                 sharded->ShardVisits(), sharded->ShardsPruned());
+  }
+  if (cache != nullptr) {
+    // The first pass populated the memo; replay the same workload warm so
+    // the hit path shows up (answers stay bit-identical either way).
+    bench::ThroughputPoint warm =
+        flags.async ? bench::TimeSubmitStream(engine, points, opt)
+                    : bench::TimeBatch(engine, points, opt);
+    CacheStats cs = cache->GetCacheStats();
+    std::printf("# cache: capacity=%zu entries=%zu hits=%zu misses=%zu "
+                "rechecks=%zu bypasses=%zu hit_rate=%.3f\n",
+                cache->options().capacity, cs.entries, cs.hits, cs.misses,
+                cs.rechecks, cs.bypasses, cs.HitRate());
+    std::printf("cache replay: %10.2f ms  %10.1f q/s  %zu answers\n",
+                warm.wall_ms, warm.Qps(), warm.answers);
+    if (warm.answers != batched.answers) {
+      std::fprintf(stderr, "error: cached replay answer mismatch "
+                   "(%zu vs %zu)\n", batched.answers, warm.answers);
+      return 1;
+    }
   }
   return ReportBatch(seq, batched, stats, engine.SubmitStats(), flags,
                      threshold, tolerance, points.size(),
@@ -272,7 +300,16 @@ int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
       },
       &sharded);
   if (engine == nullptr) return 2;
-  return RunBatchOnEngine(*engine, sharded, seq, points, opt, flags,
+  CachingEngine* cache = nullptr;
+  if (flags.cache > 0) {
+    CachingEngineOptions copt;
+    copt.capacity = flags.cache;
+    std::unique_ptr<CachingEngine> wrapped =
+        MakeCachingEngine(std::move(engine), copt);
+    cache = wrapped.get();
+    engine = std::move(wrapped);
+  }
+  return RunBatchOnEngine(*engine, sharded, cache, seq, points, opt, flags,
                           threshold, tolerance);
 }
 
@@ -311,7 +348,16 @@ int RunBatch2D(size_t count, size_t num_queries, size_t threads,
       },
       &sharded);
   if (engine == nullptr) return 2;
-  return RunBatchOnEngine(*engine, sharded, seq, points, opt, flags,
+  CachingEngine* cache = nullptr;
+  if (flags.cache > 0) {
+    CachingEngineOptions copt;
+    copt.capacity = flags.cache;
+    std::unique_ptr<CachingEngine> wrapped =
+        MakeCachingEngine(std::move(engine), copt);
+    cache = wrapped.get();
+    engine = std::move(wrapped);
+  }
+  return RunBatchOnEngine(*engine, sharded, cache, seq, points, opt, flags,
                           threshold, tolerance);
 }
 
@@ -368,6 +414,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --pool must be steal or queue\n");
         return 2;
       }
+    } else if (std::strncmp(a, "--cache=", 8) == 0) {
+      double n = ParseDouble(a + 8);
+      if (n < 0) {
+        std::fprintf(stderr, "error: --cache must be >= 0\n");
+        return 2;
+      }
+      flags.cache = static_cast<size_t>(n);
     } else if (std::strncmp(a, "--dim=", 6) == 0) {
       double d = ParseDouble(a + 6);
       if (d != 1 && d != 2) {
@@ -389,8 +442,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (saw_flags && cmd != "batch") {
     std::fprintf(stderr,
-                 "error: --shards/--policy/--async/--dim/--pool apply to "
-                 "batch only\n");
+                 "error: --shards/--policy/--async/--dim/--pool/--cache "
+                 "apply to batch only\n");
     return 2;
   }
   // The 2-D batch mode synthesizes its dataset: <dataset> is an object
