@@ -1,0 +1,126 @@
+// Batched distance-cdf evaluation: per-point binary search vs. merge scan.
+//
+// The subregion table build evaluates every candidate's piecewise-linear
+// cdf at all M+1 sorted end-points. The seed did that as M+1 independent
+// IntegralTo calls — each an O(log pieces) binary search; the batched
+// StepFunction::IntegralToSorted walks the breakpoints once per row,
+// O(pieces + M). This bench pins the crossover across piece counts and
+// batch sizes; results land in machine-readable BENCH_piecewise.json
+// (fields pointwise_us / merge_us / speedup) for CI trend tracking and
+// ci/compare_bench.py.
+//
+// Every timed region repeats until it crosses the measurement floor
+// (PVERIFY_MIN_WALL_MS, default 100 ms).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "common/piecewise.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+using namespace pverify;
+
+namespace {
+
+StepFunction MakeRandomStep(int pieces, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> breaks;
+  double x = 0.0;
+  breaks.push_back(x);
+  for (int i = 0; i < pieces; ++i) {
+    x += rng.Uniform(0.01, 1.0);
+    breaks.push_back(x);
+  }
+  std::vector<double> values;
+  for (int i = 0; i < pieces; ++i) values.push_back(rng.Uniform(0.0, 2.0));
+  return StepFunction(std::move(breaks), std::move(values));
+}
+
+/// Sorted batch spanning the support with a little out-of-support spill —
+/// the shape of a subregion end-point row.
+std::vector<double> MakeSortedBatch(const StepFunction& f, size_t n,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  const double lo = f.support_lo();
+  const double hi = f.support_hi();
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back(lo + rng.Uniform(-0.05, 1.05) * (hi - lo));
+  }
+  std::sort(xs.begin(), xs.end());
+  return xs;
+}
+
+template <typename F>
+double TimedUs(F&& body, double min_wall_ms) {
+  double ms = 0.0;
+  size_t reps = 0;
+  do {
+    Timer t;
+    body();
+    ms += t.ElapsedMs();
+    ++reps;
+  } while (ms < min_wall_ms);
+  return 1000.0 * ms / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Piecewise cdf lookup — per-point binary search vs. merge scan",
+      "One batched IntegralToSorted merge scan vs. a loop of scalar\n"
+      "IntegralTo binary searches over the same sorted batch. The merge\n"
+      "scan is O(pieces + batch) and bit-identical; the scalar loop is\n"
+      "O(batch · log pieces).");
+
+  const double min_wall_ms = bench::MinWallMsFromEnv();
+  std::printf("floor: %.0f ms per timed region\n\n", min_wall_ms);
+
+  bench::BenchJsonWriter json("piecewise_lookup", "BENCH_piecewise.json");
+  json.Config("min_wall_ms", min_wall_ms);
+
+  ResultTable table({"pieces", "batch", "pointwise_us", "merge_us", "speedup"},
+                    "piecewise_lookup.csv");
+
+  double sink = 0.0;  // defeats dead-code elimination of the timed loops
+  for (int pieces : {8, 64, 512}) {
+    const StepFunction f = MakeRandomStep(pieces, 17 + pieces);
+    for (size_t batch : {16u, 128u, 1024u}) {
+      const std::vector<double> xs = MakeSortedBatch(f, batch, 23 + batch);
+      std::vector<double> out(batch);
+
+      const double pointwise_us = TimedUs(
+          [&] {
+            for (size_t i = 0; i < batch; ++i) out[i] = f.IntegralTo(xs[i]);
+            sink += out[batch - 1];
+          },
+          min_wall_ms);
+      const double merge_us = TimedUs(
+          [&] {
+            f.IntegralToSorted(xs.data(), batch, out.data());
+            sink += out[batch - 1];
+          },
+          min_wall_ms);
+      const double speedup = merge_us > 0.0 ? pointwise_us / merge_us : 0.0;
+
+      table.AddRow({FormatDouble(pieces, 0), FormatDouble(batch, 0),
+                    FormatDouble(pointwise_us, 3), FormatDouble(merge_us, 3),
+                    FormatDouble(speedup, 2) + "x"});
+      json.BeginResult();
+      json.Field("pieces", static_cast<double>(pieces));
+      json.Field("batch", static_cast<double>(batch));
+      json.Field("pointwise_us", pointwise_us);
+      json.Field("merge_us", merge_us);
+      json.Field("speedup", speedup);
+    }
+  }
+  table.Print();
+  json.Write();
+  std::printf("(checksum %.3f)\n", sink);
+  return 0;
+}

@@ -24,15 +24,51 @@ using namespace pverify;
 namespace {
 
 /// Overlapping intervals around a query at 0 so all n survive filtering.
-Dataset MakeOverlappingDataset(size_t n) {
+/// `gaussian` swaps the 1-piece uniform pdfs for 300-bar Gaussian
+/// histograms — the many-piece regime where the merge-scan cdf fill beats
+/// per-point binary search.
+Dataset MakeOverlappingDataset(size_t n, bool gaussian = false) {
   Dataset data;
   Rng rng(n);
   for (size_t i = 0; i < n; ++i) {
     double lo = rng.Uniform(0.0, 10.0);
+    double hi = lo + rng.Uniform(30.0, 60.0);
     data.emplace_back(static_cast<ObjectId>(i),
-                      MakeUniformPdf(lo, lo + rng.Uniform(30.0, 60.0)));
+                      gaussian ? MakeGaussianPdf(lo, hi)
+                               : MakeUniformPdf(lo, hi));
   }
   return data;
+}
+
+/// Average time (µs) to fill all n cdf rows of the subregion table's SoA
+/// layout at the M+1 sorted end-points: the seed's per-point Cdf loop vs.
+/// the batched merge scan the build now uses (one pass over each distance
+/// pdf's pieces; bit-identical results).
+void TimedCdfFillUs(const CandidateSet& cands, const SubregionTable& tbl,
+                    double min_wall_ms, double* pointwise_us,
+                    double* merge_us) {
+  const size_t m1 = tbl.num_subregions() + 1;
+  const double* endpoints = tbl.EndpointData();
+  std::vector<double> row(m1);
+  for (int mode = 0; mode < 2; ++mode) {
+    double ms = 0.0;
+    size_t reps = 0;
+    do {
+      Timer t;
+      for (size_t i = 0; i < cands.size(); ++i) {
+        const DistanceDistribution& dist = cands[i].dist;
+        if (mode == 0) {
+          for (size_t j = 0; j < m1; ++j) row[j] = dist.Cdf(endpoints[j]);
+        } else {
+          dist.CdfSorted(endpoints, m1, row.data());
+        }
+      }
+      ms += t.ElapsedMs();
+      ++reps;
+    } while (ms < min_wall_ms);
+    *(mode == 0 ? pointwise_us : merge_us) =
+        1000.0 * ms / static_cast<double>(reps);
+  }
 }
 
 /// Average per-apply time (µs), repeated to the floor. Each rep gets an
@@ -106,6 +142,10 @@ int main() {
       {"candidates", "M", "rs_us", "rs_v", "lsr_us", "lsr_v", "lsr_x",
        "usr_us", "usr_v", "usr_x", "refresh_us", "refresh_v", "refresh_x"},
       "tab3.csv");
+  ResultTable fill_table(
+      {"pdf", "candidates", "M", "pdf_pieces", "pointwise_us", "merge_us",
+       "fill_x"},
+      "tab3_cdf_fill.csv");
 
   for (size_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
     Dataset data = MakeOverlappingDataset(n);
@@ -155,6 +195,40 @@ int main() {
     }
   }
   table.Print();
+
+  // Subregion-table cdf fill: the merge scan is independent of the kernel
+  // flavor (bit-identical, always on), so it gets its own stage rows. The
+  // uniform pdfs are the 1-piece floor; the 300-bar Gaussian histograms
+  // are the many-piece regime the merge scan targets.
+  std::printf("\nSubregion cdf fill — per-point binary search vs. merge "
+              "scan\n\n");
+  for (bool gaussian : {false, true}) {
+    for (size_t n : {64u, 256u}) {
+      Dataset data = MakeOverlappingDataset(n, gaussian);
+      std::vector<uint32_t> idx(n);
+      for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+      CandidateSet cands = CandidateSet::Build1D(data, idx, 0.0);
+      SubregionTable tbl = SubregionTable::Build(cands);
+      const size_t pieces = cands[0].dist.pdf().num_pieces();
+      double pointwise_us = 0.0, merge_us = 0.0;
+      TimedCdfFillUs(cands, tbl, min_wall_ms, &pointwise_us, &merge_us);
+      fill_table.AddRow(
+          {gaussian ? "gaussian" : "uniform", FormatDouble(cands.size(), 0),
+           FormatDouble(tbl.num_subregions(), 0), FormatDouble(pieces, 0),
+           FormatDouble(pointwise_us, 2), FormatDouble(merge_us, 2),
+           SpeedupCell(pointwise_us, merge_us)});
+      json.BeginResult();
+      json.Field("stage", "subregion_cdf_fill");
+      json.Field("pdf", gaussian ? "gaussian" : "uniform");
+      json.Field("candidates", static_cast<double>(cands.size()));
+      json.Field("subregions", static_cast<double>(tbl.num_subregions()));
+      json.Field("pdf_pieces", static_cast<double>(pieces));
+      json.Field("pointwise_us", pointwise_us);
+      json.Field("merge_us", merge_us);
+      json.Field("speedup", merge_us > 0.0 ? pointwise_us / merge_us : 0.0);
+    }
+  }
+  fill_table.Print();
   json.Write();
   return 0;
 }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Fat-binary sanity check for PVERIFY_MULTIARCH builds.
+#
+# Verifies that a linked artifact really carries BOTH kernel flavors:
+#   1. nm: the base and arch kernel tables
+#      (pverify::simdkern::{base,arch}::kTable) are both defined.
+#   2. objdump: the arch flavor's code actually uses wide vectors (>= 1
+#      ymm-register instruction inside simdkern::arch:: functions for
+#      x86-64-v3/v4), while the simdkern::base:: functions use none — i.e.
+#      the two copies were genuinely compiled at different ISAs and the
+#      baseline path stays runnable on pre-AVX hosts.
+#
+# Usage: ci/check_multiarch.sh <binary> [arch]   (default arch: x86-64-v3)
+set -u
+
+bin="${1:?usage: ci/check_multiarch.sh <binary> [arch]}"
+arch="${2:-x86-64-v3}"
+status=0
+
+if [ ! -f "$bin" ]; then
+  echo "FAILED: no such binary: $bin"
+  exit 1
+fi
+
+# --- 1. both flavor tables present -----------------------------------------
+for ns in base arch; do
+  if nm --defined-only -C "$bin" 2>/dev/null \
+      | grep -q "pverify::simdkern::${ns}::kTable"; then
+    echo "OK: simdkern::${ns}::kTable defined"
+  else
+    echo "FAILED: simdkern::${ns}::kTable not defined in $bin"
+    status=1
+  fi
+done
+[ "$status" -eq 0 ] || exit "$status"
+
+# --- 2. the flavors were compiled at different ISAs ------------------------
+# Count ymm-register uses per flavor by walking the disassembly's symbol
+# headers. v2 has no ymm (SSE4.2), so the wide-vector assertion only
+# applies to v3/v4; the base-flavor-has-none assertion always applies.
+count_ymm() {
+  objdump -dC "$bin" 2>/dev/null | awk -v ns="$1" '
+    /^[0-9a-f]+ <.*>:$/ { in_ns = (index($0, ns) != 0) }
+    in_ns && /%ymm/ { n++ }
+    END { print n + 0 }'
+}
+
+base_ymm=$(count_ymm "pverify::simdkern::base::")
+arch_ymm=$(count_ymm "pverify::simdkern::arch::")
+echo "ymm instructions — base flavor: $base_ymm, arch flavor: $arch_ymm"
+
+if [ "$base_ymm" -ne 0 ]; then
+  echo "FAILED: baseline flavor uses ymm registers (not portable)"
+  status=1
+fi
+case "$arch" in
+  x86-64-v3|x86-64-v4)
+    if [ "$arch_ymm" -eq 0 ]; then
+      echo "FAILED: $arch flavor emitted no ymm instructions"
+      status=1
+    fi
+    ;;
+esac
+
+if [ "$status" -eq 0 ]; then
+  echo "OK: $bin carries a portable baseline flavor and a $arch flavor"
+fi
+exit "$status"

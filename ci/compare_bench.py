@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts row by row.
+
+The bench harness (src/bench_util/harness.h) emits
+    {"bench": <name>, "config": {...}, "results": [{...}, ...]}
+where each result row mixes string keys (stage, pdf, ...) and numeric
+fields (scalar_us, merge_us, speedup, ...). This tool matches rows between
+a baseline and a candidate file by their string keys plus the numeric size
+fields (candidates, subregions, pieces, batch, ...) and prints the relative
+delta of every timing/speedup field — the quick answer to "did this PR move
+the needle, and where".
+
+Usage: ci/compare_bench.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Exit code is always 0 unless --threshold is given, in which case any
+*_us regression beyond PCT percent fails the run (CI gate mode).
+"""
+
+import argparse
+import json
+import sys
+
+# Fields that identify a row rather than measure it.
+KEY_FIELDS = ("stage", "pdf", "mode", "engine", "strategy", "candidates",
+              "subregions", "pieces", "pdf_pieces", "batch", "threads",
+              "shards", "size", "k", "queries")
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in KEY_FIELDS if k in row)
+
+
+def fmt_key(key):
+    return " ".join(
+        f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}" for k, v in key)
+
+
+def load_results(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    rows = {}
+    for row in doc.get("results", []):
+        rows[row_key(row)] = row
+    return doc.get("bench", path), rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail if any *_us field regresses by more than "
+                             "this percentage")
+    args = parser.parse_args()
+
+    base_name, base = load_results(args.baseline)
+    cand_name, cand = load_results(args.candidate)
+    print(f"baseline:  {args.baseline} ({base_name}, {len(base)} rows)")
+    print(f"candidate: {args.candidate} ({cand_name}, {len(cand)} rows)")
+    print()
+
+    regressions = []
+    matched = 0
+    for key, brow in sorted(base.items()):
+        crow = cand.get(key)
+        if crow is None:
+            print(f"[only in baseline]  {fmt_key(key)}")
+            continue
+        matched += 1
+        deltas = []
+        for field, bval in brow.items():
+            if field in KEY_FIELDS or not isinstance(bval, (int, float)):
+                continue
+            cval = crow.get(field)
+            if not isinstance(cval, (int, float)) or bval == 0:
+                continue
+            pct = 100.0 * (cval - bval) / bval
+            deltas.append(f"{field} {bval:g} -> {cval:g} ({pct:+.1f}%)")
+            # For timings lower is better; for speedups higher is better.
+            if field.endswith("_us") and args.threshold is not None \
+                    and pct > args.threshold:
+                regressions.append((key, field, pct))
+        if deltas:
+            print(f"{fmt_key(key)}")
+            for d in deltas:
+                print(f"    {d}")
+    for key in sorted(set(cand) - set(base)):
+        print(f"[only in candidate] {fmt_key(key)}")
+
+    print(f"\n{matched} rows matched")
+    if regressions:
+        print(f"FAILED: {len(regressions)} timing regressions beyond "
+              f"{args.threshold:.1f}%:")
+        for key, field, pct in regressions:
+            print(f"    {fmt_key(key)}: {field} {pct:+.1f}%")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

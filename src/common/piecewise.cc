@@ -66,6 +66,47 @@ double StepFunction::IntegralTo(double x) const {
   return cum_[i] + values_[i] * (x - breaks_[i]);
 }
 
+void StepFunction::IntegralToSorted(const double* xs, size_t n,
+                                    double* out) const {
+  if (empty()) {
+    for (size_t i = 0; i < n; ++i) out[i] = 0.0;
+    return;
+  }
+  const double lo = breaks_.front();
+  const double hi = breaks_.back();
+  const double total = cum_.back();
+  // Merge scan: the piece cursor only ever advances, so the batch costs
+  // O(num_pieces + n) instead of n binary searches. For each x the cursor
+  // lands on the same piece index PieceIndex(x) would return, and the
+  // interpolation below is the scalar IntegralTo arithmetic verbatim —
+  // hence bit-identical results.
+  size_t p = 0;
+  const size_t last_piece = values_.size() - 1;
+  double prev_x = -std::numeric_limits<double>::infinity();
+  (void)prev_x;  // Only read by the DCHECK below; NDEBUG builds discard it.
+  for (size_t i = 0; i < n; ++i) {
+    const double x = xs[i];
+    // Tracked in a local (not re-read from xs[i-1]) so `out` may alias `xs`.
+    PV_DCHECK(x >= prev_x);
+    prev_x = x;
+    if (x <= lo) {
+      out[i] = 0.0;
+      continue;
+    }
+    if (x >= hi) {
+      out[i] = total;
+      continue;
+    }
+    while (p < last_piece && breaks_[p + 1] <= x) ++p;
+    out[i] = cum_[p] + values_[p] * (x - breaks_[p]);
+  }
+}
+
+void StepFunction::IntegralToMany(const double* xs, size_t n,
+                                  double* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = IntegralTo(xs[i]);
+}
+
 double StepFunction::IntegralBetween(double a, double b) const {
   if (b <= a) return 0.0;
   return IntegralTo(b) - IntegralTo(a);

@@ -55,6 +55,20 @@ class StepFunction {
   /// This is the exact piecewise-linear antiderivative.
   double IntegralTo(double x) const;
 
+  /// Batched IntegralTo over a sorted (non-decreasing) batch of query
+  /// points: out[i] = IntegralTo(xs[i]). One merge-scan over the
+  /// breakpoints evaluates the whole batch in O(num_pieces + n) — no
+  /// binary searches — performing for every point the exact arithmetic of
+  /// the scalar IntegralTo, so results are bit-identical to a per-point
+  /// loop. Duplicate and out-of-support points are fine; `out` may alias
+  /// `xs`.
+  void IntegralToSorted(const double* xs, size_t n, double* out) const;
+
+  /// Batched IntegralTo without the sortedness requirement: a per-point
+  /// binary-search loop, kept as the fallback for unsorted batches.
+  /// Bit-identical to calling IntegralTo point by point (it is that loop).
+  void IntegralToMany(const double* xs, size_t n, double* out) const;
+
   /// Integral over [a, b] (exact; a may exceed b, in which case returns 0).
   double IntegralBetween(double a, double b) const;
 

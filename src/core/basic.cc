@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include <vector>
+
 #include "common/integrate.h"
 #include "common/piecewise.h"
+#include "core/cdf_batch.h"
 
 namespace pverify {
 namespace {
@@ -28,15 +31,9 @@ double ExactQualificationProbability(const CandidateSet& candidates, size_t i,
   const Candidate& cand = candidates[i];
   const double a = cand.dist.near();
   const double b = std::min(cand.dist.far(), candidates.fmin());
-  auto f = [&candidates, i](double r) {
-    double v = candidates[i].dist.Density(r);
-    if (v == 0.0) return 0.0;
-    for (size_t k = 0; k < candidates.size(); ++k) {
-      if (k == i) continue;
-      v *= 1.0 - candidates[k].dist.Cdf(r);
-      if (v == 0.0) break;
-    }
-    return v;
+  std::vector<double> row(candidates.size());  // cdf gather scratch
+  auto f = [&candidates, i, &row](double r) {
+    return NnProductIntegrand(candidates, i, r, row.data());
   };
   double p = IntegrateWithBreakpoints(f, a, b, breaks, options.gauss_points);
   return std::clamp(p, 0.0, 1.0);
@@ -47,19 +44,13 @@ std::vector<double> ComputeExactProbabilities(
   std::vector<double> breaks = GlobalBreakpoints(candidates);
   std::vector<double> probs(candidates.size(), 0.0);
   const double fmin = candidates.fmin();
+  std::vector<double> row(candidates.size());  // cdf gather scratch
   for (size_t i = 0; i < candidates.size(); ++i) {
     const Candidate& cand = candidates[i];
     const double a = cand.dist.near();
     const double b = std::min(cand.dist.far(), fmin);
-    auto f = [&candidates, i](double r) {
-      double v = candidates[i].dist.Density(r);
-      if (v == 0.0) return 0.0;
-      for (size_t k = 0; k < candidates.size(); ++k) {
-        if (k == i) continue;
-        v *= 1.0 - candidates[k].dist.Cdf(r);
-        if (v == 0.0) break;
-      }
-      return v;
+    auto f = [&candidates, i, &row](double r) {
+      return NnProductIntegrand(candidates, i, r, row.data());
     };
     probs[i] = std::clamp(
         IntegrateWithBreakpoints(f, a, b, breaks, options.gauss_points), 0.0,

@@ -8,7 +8,8 @@ size_t QueryScratch::ApproxBytes() const {
          context.qlow.capacity() * sizeof(double) +
          context.qup.capacity() * sizeof(double) +
          context.prod.capacity() * sizeof(double) +
-         refine_order.capacity() * sizeof(size_t);
+         refine_order.capacity() * sizeof(size_t) +
+         cdf_gather.capacity() * sizeof(double);
 }
 
 }  // namespace pverify

@@ -48,6 +48,33 @@ constexpr bool SimdKernelsCompiled() {
 bool SimdKernelsEnabled();
 void SetSimdKernelsEnabled(bool enabled);
 
+/// True when this binary carries a second, -march-targeted copy of the
+/// vector kernels (CMake option PVERIFY_MULTIARCH; see simd_kernels.h).
+constexpr bool MultiArchCompiled() {
+#if defined(PVERIFY_MULTIARCH)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// True when the host CPU can run the arch kernel flavor (cpuid probe of
+/// the -march level the binary was configured for). Always false when
+/// MultiArchCompiled() is false.
+bool ArchKernelsSupportedByCpu();
+
+/// Runtime flavor selection for multiarch binaries. Defaults to enabled
+/// unless the environment sets PVERIFY_KERNEL_ARCH=baseline (read once, at
+/// first use); flipping is one relaxed atomic and affects all threads. The
+/// arch flavor only actually runs when the CPU supports it — disabling just
+/// forces baseline, e.g. to run the full suite on the portable code path.
+bool ArchKernelsEnabled();
+void SetArchKernelsEnabled(bool enabled);
+
+/// Name of the kernel flavor ActiveKernels() currently selects: "baseline",
+/// or the -march target (e.g. "x86-64-v3") on a supporting host.
+const char* ActiveKernelFlavorName();
+
 }  // namespace pverify
 
 #endif  // PVERIFY_CORE_SIMD_H_

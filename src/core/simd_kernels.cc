@@ -1,0 +1,164 @@
+// Bodies of the runtime-dispatched vector kernels (see simd_kernels.h).
+//
+// This TU is compiled once per kernel flavor: always as `base` with the
+// build's default ISA, and — under PVERIFY_MULTIARCH — a second time with
+// -DPVERIFY_KERNEL_FLAVOR_ARCH and -march=PVERIFY_SIMD_ARCH as `arch`.
+// Both copies live in one binary; core/simd.cc's ActiveKernels() selects by
+// cpuid. To keep the twice-compiled code from emitting weak (comdat)
+// symbols that the linker could then pick from the wrong ISA copy, this
+// file includes no inline-heavy project headers — only core/simd.h (macros
+// plus a constexpr) and simd_kernels.h (a pure declaration surface). Even
+// std::min is spelled as a ternary for that reason.
+//
+// Numerics: every kernel is written so the per-lane arithmetic matches the
+// scalar reference operation for operation; only the reduction kernels
+// (accumulate_bound, product_one_minus_excluding) may reassociate when the
+// PV_SIMD pragmas are live. The GCC 12 if-converter rules from the verifier
+// TUs carry over verbatim: FP-domain fallback counters, blended divisors,
+// and one comparison mask per loop.
+#include "core/simd_kernels.h"
+
+#include <cstddef>
+
+#include "core/simd.h"
+
+#if defined(PVERIFY_KERNEL_FLAVOR_ARCH)
+#define PV_KERNEL_NS arch
+#else
+#define PV_KERNEL_NS base
+#endif
+
+namespace pverify {
+namespace simdkern {
+namespace PV_KERNEL_NS {
+
+namespace {
+
+#if defined(PVERIFY_KERNEL_FLAVOR_ARCH) && defined(PVERIFY_MULTIARCH_CPU)
+constexpr const char kFlavorName[] = PVERIFY_MULTIARCH_CPU;
+#else
+constexpr const char kFlavorName[] = "baseline";
+#endif
+
+}  // namespace
+
+/// Eq. 4 masked accumulation (from verifier_common.cc). Masked-out terms
+/// contribute +0.0 — cannot change a non-negative running sum — so with the
+/// pragma compiled out this is bit-identical to the scalar skip-on-mask
+/// reference; with it live the only divergence is reassociation.
+void AccumulateBound(const double* s_row, const double* ql_row,
+                     const double* qu_row, size_t m, double* lower_out,
+                     double* upper_out) {
+  double lower = 0.0;
+  double upper = 0.0;
+  PV_SIMD_REDUCE(+ : lower, upper)
+  for (size_t j = 0; j < m; ++j) {
+    const double sij = s_row[j];
+    const bool mass = sij > kMassEps;
+    lower += mass ? sij * ql_row[j] : 0.0;
+    upper += mass ? sij * qu_row[j] : 0.0;
+  }
+  *lower_out = lower;
+  *upper_out = upper;
+}
+
+/// L-SR pass A (from verifier_lsr.cc): candidate q_ij.l for every
+/// numerically safe lane into the scratch row. Blended divisors keep masked
+/// lanes on 1/1 instead of tripping on factor ≈ 0 or c_j = 0; a c_j = 0
+/// lane is by definition non-participating, so the inf it produces is never
+/// consumed. The fallback counter intentionally counts *every* unsafe lane
+/// (participating or not; the caller's fix-up re-filters) and stays in the
+/// FP domain — a mixed bool/int reduction de-vectorizes under GCC 12.
+double LsrPassA(const double* cdf_row, const double* y, const int* cnt,
+                double* tmp, size_t last) {
+  double fallback = 0.0;
+  PV_SIMD_REDUCE(+ : fallback)
+  for (size_t j = 0; j < last; ++j) {
+    const double factor = 1.0 - cdf_row[j];
+    const bool safe = factor > kDivideOutMin && y[j] > 0.0;
+    const double ratio = y[j] / (safe ? factor : 1.0);
+    const double pr_e = ratio < 1.0 ? ratio : 1.0;  // std::min(1.0, ratio)
+    const double cj = safe ? static_cast<double>(cnt[j]) : 1.0;
+    tmp[j] = safe ? pr_e / cj : 0.0;
+    fallback += safe ? 0.0 : 1.0;
+  }
+  return fallback;
+}
+
+/// L-SR pass B (from verifier_lsr.cc): participation-masked max-merge of
+/// the scratch row into the qlow row. Unsafe lanes hold 0.0 and can never
+/// beat a slot (slots start at 0), so they fall through to the caller's
+/// scalar fix-up.
+void LsrPassB(const double* s_row, const double* tmp, double* ql,
+              size_t last) {
+  PV_SIMD
+  for (size_t j = 0; j < last; ++j) {
+    const bool upd = s_row[j] > kMassEps && tmp[j] > ql[j];
+    ql[j] = upd ? tmp[j] : ql[j];
+  }
+}
+
+/// U-SR pass A (from verifier_usr.cc): prod[j] = Π_{k≠i}(1 − D_k(e_j)) by
+/// divide-out for every safe lane, placeholder for the rest. Returns the
+/// FP-domain unsafe count; the caller must fix unsafe lanes up before pass
+/// B consumes prod.
+double UsrPassA(const double* cdf_row, const double* y, double* prod,
+                size_t m) {
+  double fallback = 0.0;
+  PV_SIMD_REDUCE(+ : fallback)
+  for (size_t j = 0; j < m; ++j) {
+    const double factor = 1.0 - cdf_row[j];
+    const bool safe = factor > kDivideOutMin && y[j] > 0.0;
+    const double ratio = y[j] / (safe ? factor : 1.0);
+    prod[j] = ratio < 1.0 ? ratio : 1.0;  // std::min(1.0, ratio)
+    fallback += safe ? 0.0 : 1.0;
+  }
+  return fallback;
+}
+
+/// U-SR pass B (from verifier_usr.cc): Eq. 5 blend ½(prod[j+1] + prod[j])
+/// min-merged into the qup row, masked by participation. The operand order
+/// pr_f + pr_e matches the scalar path, so used lanes are bit-identical.
+void UsrPassB(const double* s_row, const double* prod, double* qu,
+              size_t last) {
+  PV_SIMD
+  for (size_t j = 0; j < last; ++j) {
+    const bool part = s_row[j] > kMassEps;
+    const double qup = 0.5 * (prod[j + 1] + prod[j]);
+    qu[j] = part && qup < qu[j] ? qup : qu[j];
+  }
+}
+
+/// Π_{k≠skip}(1 − cdfs[k]) over a gathered row of distance-cdf values —
+/// the inner product of the exact-integration integrands (basic.cc,
+/// refine.cc, knn.cc). The excluded lane is blended to a factor of exactly
+/// 1.0, which is exact under multiplication, so with the pragma compiled
+/// out this matches the scalar skip-loop bit for bit; with it live the
+/// product may reassociate. Pass skip >= n to exclude nothing.
+double ProductOneMinusExcluding(const double* cdfs, size_t n, size_t skip) {
+  double v = 1.0;
+  PV_SIMD_REDUCE(* : v)
+  for (size_t k = 0; k < n; ++k) {
+    v *= k == skip ? 1.0 : 1.0 - cdfs[k];
+  }
+  return v;
+}
+
+/// y[j] *= 1 − cdf_row[j] (from subregion.cc's Y_j build loop). Lanes are
+/// independent — bit-identical across flavors and to the scalar loop.
+void MultiplyOneMinusInto(double* y, const double* cdf_row, size_t count) {
+  PV_SIMD
+  for (size_t j = 0; j < count; ++j) {
+    y[j] *= 1.0 - cdf_row[j];
+  }
+}
+
+const KernelTable kTable = {
+    kFlavorName,    AccumulateBound,         LsrPassA, LsrPassB,
+    UsrPassA,       UsrPassB,                ProductOneMinusExcluding,
+    MultiplyOneMinusInto,
+};
+
+}  // namespace PV_KERNEL_NS
+}  // namespace simdkern
+}  // namespace pverify

@@ -1,0 +1,95 @@
+// Multi-versioned SIMD kernel surface for the verifier chain.
+//
+// Every runtime-dispatched vector kernel lives behind a table of raw-pointer
+// entry points so the whole set can be compiled more than once for different
+// ISAs and selected per host. The kernel TU (core/simd_kernels.cc) always
+// builds a `base` flavor with the build's default ISA; configuring with
+// -DPVERIFY_MULTIARCH=ON compiles the SAME source a second time at
+// -march=PVERIFY_SIMD_ARCH into the `arch` flavor, and ActiveKernels()
+// (core/simd.cc) picks between them once per call via cpuid — one release
+// artifact serves both baseline and wide-vector fleets.
+//
+// The signatures are deliberately raw pointers + sizes: the kernel TU must
+// stay almost header-free so the -march copy emits no out-of-line inline
+// functions shared with baseline TUs (the classic fat-binary ODR trap).
+// Numerics contract per kernel is noted inline: "bit-identical" kernels
+// perform lane-independent arithmetic identical across flavors and to the
+// scalar reference; "reduction" kernels may reassociate (a few ULP).
+#ifndef PVERIFY_CORE_SIMD_KERNELS_H_
+#define PVERIFY_CORE_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+namespace pverify {
+namespace simdkern {
+
+/// Mirrors SubregionTable::kEps (static_assert'd in subregion.cc): the
+/// participation mask of the pass-B merges.
+inline constexpr double kMassEps = 1e-15;
+
+/// Mirrors SubregionTable::DivideOutSafe's factor floor (static_assert'd in
+/// subregion.cc): lanes below it take the scalar direct-product fallback.
+inline constexpr double kDivideOutMin = 1e-8;
+
+struct KernelTable {
+  /// Flavor name for telemetry/tests: "baseline" or the -march target.
+  const char* flavor;
+
+  /// Eq. 4 masked bound accumulation over one candidate's s/qlow/qup rows
+  /// (sum reduction — may reassociate).
+  void (*accumulate_bound)(const double* s_row, const double* ql_row,
+                           const double* qu_row, size_t m, double* lower_out,
+                           double* upper_out);
+
+  /// L-SR pass A: candidate q_ij.l = min(1, y_j/(1−D_i(e_j)))/c_j into
+  /// tmp[0..last) for every numerically safe lane (bit-identical per lane);
+  /// returns the FP-domain count of unsafe lanes the caller must fix up.
+  double (*lsr_pass_a)(const double* cdf_row, const double* y, const int* cnt,
+                       double* tmp, size_t last);
+  /// L-SR pass B: participation-masked max-merge of tmp into the qlow row
+  /// (bit-identical).
+  void (*lsr_pass_b)(const double* s_row, const double* tmp, double* ql,
+                     size_t last);
+
+  /// U-SR pass A: prod[j] = divide-out Π_{k≠i}(1 − D_k(e_j)) for j < m
+  /// (bit-identical per safe lane); returns the unsafe-lane count — the
+  /// caller fixes prod up BEFORE pass B consumes it.
+  double (*usr_pass_a)(const double* cdf_row, const double* y, double* prod,
+                       size_t m);
+  /// U-SR pass B: Eq. 5 blend ½(prod[j+1] + prod[j]) min-merged into the
+  /// qup row, masked by participation (bit-identical).
+  void (*usr_pass_b)(const double* s_row, const double* prod, double* qu,
+                     size_t last);
+
+  /// Π_{k≠skip}(1 − cdfs[k]) over n gathered cdf values — the batched
+  /// distance-cdf product of the exact-integration paths (product
+  /// reduction — may reassociate).
+  double (*product_one_minus_excluding)(const double* cdfs, size_t n,
+                                        size_t skip);
+
+  /// y[j] *= 1 − cdf_row[j] for j < count — the subregion table's Y_j
+  /// accumulation (independent lanes — bit-identical).
+  void (*multiply_one_minus_into)(double* y, const double* cdf_row,
+                                  size_t count);
+};
+
+namespace base {
+extern const KernelTable kTable;
+}  // namespace base
+
+#if defined(PVERIFY_MULTIARCH)
+namespace arch {
+extern const KernelTable kTable;
+}  // namespace arch
+#endif
+
+}  // namespace simdkern
+
+/// The flavor serving this host: `arch` when the binary carries it, the CPU
+/// supports it and it is not overridden (see SetArchKernelsEnabled /
+/// PVERIFY_KERNEL_ARCH=baseline), `base` otherwise. Defined in core/simd.cc.
+const simdkern::KernelTable& ActiveKernels();
+
+}  // namespace pverify
+
+#endif  // PVERIFY_CORE_SIMD_KERNELS_H_

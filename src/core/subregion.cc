@@ -6,8 +6,16 @@
 #include "common/check.h"
 #include "common/piecewise.h"
 #include "core/simd.h"
+#include "core/simd_kernels.h"
 
 namespace pverify {
+
+// The kernel TU mirrors these constants locally (it must stay header-free;
+// see simd_kernels.h). Pin them together so a drift breaks the build.
+static_assert(simdkern::kMassEps == SubregionTable::kEps,
+              "simdkern::kMassEps out of sync with SubregionTable::kEps");
+static_assert(simdkern::kDivideOutMin == 1e-8,
+              "simdkern::kDivideOutMin out of sync with DivideOutSafe");
 
 SubregionTable SubregionTable::Build(const CandidateSet& candidates) {
   SubregionTable table;
@@ -63,9 +71,12 @@ void SubregionTable::BuildInto(const CandidateSet& candidates,
     const DistanceDistribution& dist = candidates[i].dist;
     double* cdf_row = table.cdf_.data() + i * table.cdf_stride_;
     double* s_row = table.s_.data() + i * table.s_stride_;
-    for (size_t j = 0; j <= m; ++j) {
-      cdf_row[j] = dist.Cdf(table.endpoints_[j]);
-    }
+    // endpoints_ is sorted, so one merge-scan over the distance pdf's
+    // pieces fills the whole row in O(pieces + M) — no per-point binary
+    // searches, bit-identical to the pointwise Cdf loop it replaces (see
+    // StepFunction::IntegralToSorted), hence unconditional in both kernel
+    // flavors.
+    dist.CdfSorted(table.endpoints_.data(), m + 1, cdf_row);
     for (size_t j = 0; j < m; ++j) {
       double sij = cdf_row[j + 1] - cdf_row[j];
       sij = std::max(0.0, sij);
@@ -77,14 +88,13 @@ void SubregionTable::BuildInto(const CandidateSet& candidates,
   // Y_j product, candidate-outer so the inner loop streams one contiguous
   // cdf row. Per j this multiplies the same factors in the same (k-)order
   // as the subregion-outer formulation, so the result is bit-identical;
-  // the lanes are independent, so the pragma is too.
+  // the lanes are independent, so the kernel is too (multiarch builds run
+  // it at the host's widest ISA via the flavor table).
   double* y = table.y_.data();
+  const simdkern::KernelTable& kern = ActiveKernels();
   for (size_t k = 0; k < n; ++k) {
     const double* cdf_row = table.cdf_.data() + k * table.cdf_stride_;
-    PV_SIMD
-    for (size_t j = 0; j <= m; ++j) {
-      y[j] *= 1.0 - cdf_row[j];
-    }
+    kern.multiply_one_minus_into(y, cdf_row, m + 1);
   }
 }
 

@@ -72,6 +72,9 @@ class SubregionTable {
   const double* CdfRow(size_t i) const { return cdf_.data() + i * cdf_stride_; }
   const double* YData() const { return y_.data(); }
   const int* CountData() const { return count_.data(); }
+  /// The M+1 sorted end-points as a contiguous row (for batched cdf
+  /// evaluation against the same points the table was built with).
+  const double* EndpointData() const { return endpoints_.data(); }
 
   /// Π_{k ≠ i} (1 − D_k(e_j)): the Pr(E)-style product used by L-SR
   /// (Lemma 2) and U-SR (Eq. 5). Computed by dividing i's factor out of Y_j,

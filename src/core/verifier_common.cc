@@ -1,13 +1,16 @@
 #include <algorithm>
 
 #include "core/simd.h"
+#include "core/simd_kernels.h"
 #include "core/verifier.h"
 
 namespace pverify {
 namespace {
 
 /// Seed implementation of the Eq. 4 accumulation, kept verbatim as the
-/// scalar reference: skip-on-mask, strictly sequential sums.
+/// scalar reference: skip-on-mask, strictly sequential sums. The vectorized
+/// flavor (branch-free masked accumulation) lives in core/simd_kernels.cc
+/// as the `accumulate_bound` table entry.
 void AccumulateBoundScalar(const double* s_row, const double* ql_row,
                            const double* qu_row, size_t m, double* lower_out,
                            double* upper_out) {
@@ -23,34 +26,13 @@ void AccumulateBoundScalar(const double* s_row, const double* ql_row,
   *upper_out = upper;
 }
 
-/// Vectorized flavor: branch-free masked accumulation so every lane does
-/// the same work. Masked-out terms contribute +0.0, which cannot change a
-/// non-negative running sum, so with the pragma compiled out this is
-/// bit-identical to the scalar reference; with it live the only divergence
-/// is the reduction's reassociation (a few ULP).
-void AccumulateBoundSimd(const double* s_row, const double* ql_row,
-                         const double* qu_row, size_t m, double* lower_out,
-                         double* upper_out) {
-  double lower = 0.0;
-  double upper = 0.0;
-  PV_SIMD_REDUCE(+ : lower, upper)
-  for (size_t j = 0; j < m; ++j) {
-    const double sij = s_row[j];
-    const bool mass = sij > SubregionTable::kEps;
-    lower += mass ? sij * ql_row[j] : 0.0;
-    upper += mass ? sij * qu_row[j] : 0.0;
-  }
-  *lower_out = lower;
-  *upper_out = upper;
-}
-
 inline void RefreshOne(VerificationContext& ctx, size_t i, size_t m,
                        bool simd) {
   const SubregionTable& tbl = *ctx.table;
   double lower, upper;
   if (simd) {
-    AccumulateBoundSimd(tbl.SRow(i), ctx.QLowRow(i), ctx.QUpRow(i), m, &lower,
-                        &upper);
+    ActiveKernels().accumulate_bound(tbl.SRow(i), ctx.QLowRow(i),
+                                     ctx.QUpRow(i), m, &lower, &upper);
   } else {
     AccumulateBoundScalar(tbl.SRow(i), ctx.QLowRow(i), ctx.QUpRow(i), m,
                           &lower, &upper);

@@ -17,7 +17,11 @@
 // slot values stay bit-identical), then (B) a participation-masked merge
 // into the qlow row. The rare unsafe lanes are counted in pass A and fixed
 // up by a scalar pass that takes ProductExcluding's direct-product fallback.
+// The pass bodies live in core/simd_kernels.cc behind ActiveKernels(), so a
+// multiarch binary runs them at the widest ISA the host supports; only the
+// scalar fix-up (which needs ProductExcluding) stays in this TU.
 #include "core/simd.h"
+#include "core/simd_kernels.h"
 #include "core/verifier.h"
 
 namespace pverify {
@@ -46,6 +50,7 @@ void ApplySimd(VerificationContext& ctx) {
   const double* y = tbl.YData();
   const int* cnt = tbl.CountData();
   double* tmp = ctx.prod.data();
+  const simdkern::KernelTable& kern = ActiveKernels();
   CandidateSet& cands = *ctx.candidates;
   for (size_t i = 0; i < cands.size(); ++i) {
     if (cands[i].label != Label::kUnknown) continue;
@@ -53,33 +58,8 @@ void ApplySimd(VerificationContext& ctx) {
     const double* cdf_row = tbl.CdfRow(i);
     double* ql = ctx.QLowRow(i);
     const size_t last = m - 1;  // omp-canonical bound for j + 1 < m
-    // Pass A: candidate q_ij.l for every numerically safe lane into the
-    // context's scratch row. GCC 12's if-converter bails once a second
-    // comparison mask (the s_ij participation test) joins this loop, so
-    // that test moves to pass B. Blended divisors keep masked lanes on
-    // 1/1 instead of tripping on factor ≈ 0 or c_j = 0; a c_j = 0 lane is
-    // by definition non-participating, so the inf it produces is never
-    // consumed. The fallback counter intentionally counts *every* unsafe
-    // lane (participating or not; the fix-up loop re-filters) and stays
-    // in the FP domain — a mixed bool/int reduction also de-vectorizes.
-    double fallback = 0.0;
-    PV_SIMD_REDUCE(+ : fallback)
-    for (size_t j = 0; j < last; ++j) {
-      const double factor = 1.0 - cdf_row[j];
-      const bool safe = factor > 1e-8 && y[j] > 0.0;
-      const double pr_e = std::min(1.0, y[j] / (safe ? factor : 1.0));
-      const double cj = safe ? static_cast<double>(cnt[j]) : 1.0;
-      tmp[j] = safe ? pr_e / cj : 0.0;
-      fallback += safe ? 0.0 : 1.0;
-    }
-    // Pass B: merge into the qlow row, masked by participation. Unsafe
-    // lanes hold 0.0 and can never beat a slot (slots start at 0), so
-    // they fall through to the scalar fix-up below.
-    PV_SIMD
-    for (size_t j = 0; j < last; ++j) {
-      const bool upd = s_row[j] > SubregionTable::kEps && tmp[j] > ql[j];
-      ql[j] = upd ? tmp[j] : ql[j];
-    }
+    const double fallback = kern.lsr_pass_a(cdf_row, y, cnt, tmp, last);
+    kern.lsr_pass_b(s_row, tmp, ql, last);
     if (fallback != 0.0) {
       for (size_t j = 0; j + 1 < m; ++j) {
         if (s_row[j] <= SubregionTable::kEps) continue;

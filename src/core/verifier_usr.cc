@@ -17,7 +17,11 @@
 // lanes fixed up scalar), then (B) blend ½·(prod[j+1] + prod[j]) into the
 // qup row. Used lanes perform the scalar path's exact operations in the
 // same order, so slot values stay bit-identical to the reference.
+// The pass bodies live in core/simd_kernels.cc behind ActiveKernels(), so a
+// multiarch binary runs them at the widest ISA the host supports; only the
+// scalar fix-up (which needs ProductExcluding) stays in this TU.
 #include "core/simd.h"
+#include "core/simd_kernels.h"
 #include "core/verifier.h"
 
 namespace pverify {
@@ -47,25 +51,17 @@ void ApplySimd(VerificationContext& ctx) {
   const size_t m = tbl.num_subregions();
   const double* y = tbl.YData();
   double* prod = ctx.prod.data();
+  const simdkern::KernelTable& kern = ActiveKernels();
   CandidateSet& cands = *ctx.candidates;
   for (size_t i = 0; i < cands.size(); ++i) {
     if (cands[i].label != Label::kUnknown) continue;
     const double* s_row = tbl.SRow(i);
     const double* cdf_row = tbl.CdfRow(i);
     double* qu = ctx.QUpRow(i);
-    // Pass A: prod[j] = Π_{k≠i}(1 − D_k(e_j)) for the end-points the inner
-    // loop consumes (j < m). Unsafe lanes get a placeholder and a scalar
-    // fix-up via ProductExcluding's direct-product fallback.
-    // Count unsafe lanes in the FP domain — a mixed bool/int reduction
-    // defeats GCC 12's if-converter and de-vectorizes the whole loop.
-    double fallback = 0.0;
-    PV_SIMD_REDUCE(+ : fallback)
-    for (size_t j = 0; j < m; ++j) {
-      const double factor = 1.0 - cdf_row[j];
-      const bool safe = factor > 1e-8 && y[j] > 0.0;
-      prod[j] = std::min(1.0, y[j] / (safe ? factor : 1.0));
-      fallback += safe ? 0.0 : 1.0;
-    }
+    // Pass A fills prod for the end-points pass B consumes (j < m); unsafe
+    // lanes get a placeholder and this scalar fix-up via ProductExcluding's
+    // direct-product fallback, which must land before pass B reads prod.
+    const double fallback = kern.usr_pass_a(cdf_row, y, prod, m);
     if (fallback != 0.0) {
       for (size_t j = 0; j < m; ++j) {
         if (!SubregionTable::DivideOutSafe(1.0 - cdf_row[j], y[j])) {
@@ -73,14 +69,8 @@ void ApplySimd(VerificationContext& ctx) {
         }
       }
     }
-    // Pass B: Eq. 5 blend. pr_f + pr_e keeps the scalar operand order.
     const size_t last = m - 1;  // omp-canonical bound for j + 1 < m
-    PV_SIMD
-    for (size_t j = 0; j < last; ++j) {
-      const bool part = s_row[j] > SubregionTable::kEps;
-      const double qup = 0.5 * (prod[j + 1] + prod[j]);
-      qu[j] = part && qup < qu[j] ? qup : qu[j];
-    }
+    kern.usr_pass_b(s_row, prod, qu, last);
   }
 }
 

@@ -52,6 +52,19 @@ class DistanceDistribution {
   /// Distance cdf D_i(r) = P(R_i <= r); 0 below near(), 1 above far().
   double Cdf(double r) const { return pdf_.IntegralTo(r); }
 
+  /// Batched cdf over a sorted (non-decreasing) batch of radii:
+  /// out[j] = Cdf(rs[j]) via one merge-scan over the pdf's pieces —
+  /// bit-identical to a per-point Cdf loop, O(pieces + n) instead of
+  /// n binary searches (see StepFunction::IntegralToSorted).
+  void CdfSorted(const double* rs, size_t n, double* out) const {
+    pdf_.IntegralToSorted(rs, n, out);
+  }
+
+  /// Batched cdf without the sortedness requirement (per-point fallback).
+  void CdfMany(const double* rs, size_t n, double* out) const {
+    pdf_.IntegralToMany(rs, n, out);
+  }
+
   /// P(a <= R_i <= b).
   double ProbIn(double a, double b) const {
     return pdf_.IntegralBetween(a, b);

@@ -7,6 +7,7 @@
 // PVERIFY_SIMD=OFF build it checks the restructured branchless kernels
 // against the reference scalar loops; in an ON build it additionally
 // covers real vector execution.
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -162,6 +163,125 @@ TEST(SimdEquivalenceTest, AllStrategiesBothEnginesMatchScalarReference) {
     ExpectEquivalent(RunBatch(sharded, points, options, false),
                      RunBatch(sharded, points, options, true),
                      "ShardedQueryEngine", strategy);
+  }
+}
+
+/// Runs one k-NN batch through the engine with the given kernel flavor.
+std::vector<QueryResult> RunKnnBatch(Engine& engine,
+                                     const std::vector<double>& points, int k,
+                                     const QueryOptions& options, bool simd) {
+  SetSimdKernelsEnabled(simd);
+  std::vector<QueryRequest> requests;
+  requests.reserve(points.size());
+  for (double q : points) requests.push_back(KnnQuery{q, k, options});
+  return engine.ExecuteBatch(std::move(requests));
+}
+
+// k-NN coverage for the batched Poisson-binomial gather (knn.cc): both
+// engines, both kernel flavors, same answers within the ULP budget.
+TEST(SimdEquivalenceTest, KnnQueriesBothEnginesMatchScalarReference) {
+  SimdFlagGuard guard;
+  Dataset dataset = datagen::MakeSynthetic([] {
+    datagen::SyntheticConfig config;
+    config.count = 1200;
+    config.seed = 57;
+    return config;
+  }());
+  const std::vector<double> points =
+      datagen::MakeQueryPoints(8, 0.0, 10000.0, 59);
+
+  QueryEngine flat(dataset, [] {
+    EngineOptions options;
+    options.num_threads = 2;
+    return options;
+  }());
+  ShardedQueryEngine sharded(dataset, [] {
+    ShardedEngineOptions options;
+    options.num_shards = 3;
+    options.num_threads = 2;
+    return options;
+  }());
+
+  for (int k : {1, 3}) {
+    QueryOptions options;
+    options.params = {0.25, 0.01};
+    options.report_probabilities = true;
+    ExpectEquivalent(RunKnnBatch(flat, points, k, options, false),
+                     RunKnnBatch(flat, points, k, options, true),
+                     "QueryEngine", Strategy::kBasic);
+    ExpectEquivalent(RunKnnBatch(sharded, points, k, options, false),
+                     RunKnnBatch(sharded, points, k, options, true),
+                     "ShardedQueryEngine", Strategy::kBasic);
+  }
+}
+
+/// Restores the arch-flavor switch on scope exit (multiarch builds only
+/// ever read it, but a leaked override would skew later tests).
+class ArchFlagGuard {
+ public:
+  ArchFlagGuard() : saved_(ArchKernelsEnabled()) {}
+  ~ArchFlagGuard() { SetArchKernelsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Fat-binary dispatch: the selected flavor name must be consistent with
+// what the binary carries, what the CPU supports, and the runtime switch.
+// Under PVERIFY_KERNEL_ARCH=baseline (the CI forced-baseline leg) the env
+// override flips ArchKernelsEnabled()'s default, so the same assertions
+// hold there too.
+TEST(SimdEquivalenceTest, ActiveFlavorMatchesDispatchState) {
+  ArchFlagGuard guard;
+  const bool arch_active =
+      MultiArchCompiled() && ArchKernelsEnabled() && ArchKernelsSupportedByCpu();
+  const std::string flavor = ActiveKernelFlavorName();
+  if (arch_active) {
+#if defined(PVERIFY_MULTIARCH_CPU)
+    EXPECT_EQ(flavor, PVERIFY_MULTIARCH_CPU);
+#endif
+    EXPECT_NE(flavor, "baseline");
+    // Forcing baseline must take effect immediately.
+    SetArchKernelsEnabled(false);
+    EXPECT_EQ(std::string(ActiveKernelFlavorName()), "baseline");
+  } else {
+    EXPECT_EQ(flavor, "baseline");
+  }
+  if (!MultiArchCompiled()) {
+    EXPECT_FALSE(ArchKernelsSupportedByCpu());
+  }
+}
+
+// Both flavors of a multiarch binary must agree: rerun the verifier chain
+// with the arch kernels forced off and compare against the default
+// selection. (Degenerates to baseline-vs-baseline when the host or build
+// lacks the arch flavor — still a valid determinism check.)
+TEST(SimdEquivalenceTest, ArchAndBaselineFlavorsAgree) {
+  SimdFlagGuard simd_guard;
+  ArchFlagGuard arch_guard;
+  SetSimdKernelsEnabled(true);
+  Dataset data = MakeOverlappingDataset(128, 91);
+  std::vector<uint32_t> idx(data.size());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  const CandidateSet base = CandidateSet::Build1D(data, idx, 0.0);
+
+  SetArchKernelsEnabled(true);
+  CandidateSet arch_cands = base;
+  VerificationFramework arch_fw(&arch_cands, CpnnParams{0.3, 0.01});
+  arch_fw.RunDefault();
+
+  SetArchKernelsEnabled(false);
+  CandidateSet base_cands = base;
+  VerificationFramework base_fw(&base_cands, CpnnParams{0.3, 0.01});
+  base_fw.RunDefault();
+
+  ASSERT_EQ(arch_cands.size(), base_cands.size());
+  for (size_t i = 0; i < arch_cands.size(); ++i) {
+    EXPECT_EQ(arch_cands[i].label, base_cands[i].label) << "candidate " << i;
+    EXPECT_ULP_NEAR(arch_cands[i].bound.lower, base_cands[i].bound.lower,
+                    kUlpBudget);
+    EXPECT_ULP_NEAR(arch_cands[i].bound.upper, base_cands[i].bound.upper,
+                    kUlpBudget);
   }
 }
 
