@@ -1,0 +1,261 @@
+// Open-loop load generator for pverify_serve: measures service latency and
+// saturation throughput over loopback, the way a latency SLO would.
+//
+// An in-process net::Server is stood up on an ephemeral port; for each
+// (cache capacity × connection count × offered QPS) configuration, every
+// connection gets a sender thread firing request frames on a FIXED arrival
+// schedule (sleep_until the precomputed slot — the sender never waits for
+// responses) and a receiver thread draining response frames. Latency is
+// measured from each request's *scheduled* send time, not its actual send
+// time, so queueing delay when the server falls behind is charged to the
+// server rather than silently absorbed (no coordinated omission).
+//
+// Reported per configuration: p50/p99/p999 latency (µs) and achieved QPS;
+// per (connections, cache): the saturation point — the highest offered rate
+// the server still sustained at ≥90%. Everything lands in BENCH_serve.json
+// for CI to archive and diff.
+//
+// Environment knobs:
+//   PVERIFY_DATASET     synthetic 1-D object count   (default 4000)
+//   PVERIFY_SERVE_QPS   offered-rate sweep, comma-sep (default
+//                       200,400,800,1600)
+//   PVERIFY_SERVE_CONNS connection counts, comma-sep  (default 1,4)
+//   PVERIFY_SERVE_CACHE CachingEngine capacities, comma-sep; 0 = none
+//                       (default 0,4096)
+//   PVERIFY_SERVE_MS    measured duration per configuration in ms
+//                       (default 300)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/harness.h"
+#include "datagen/synthetic.h"
+#include "datagen/workload.h"
+#include "engine/caching_engine.h"
+#include "engine/query_engine.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace pverify;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+std::vector<size_t> ListFromEnv(const char* name,
+                                std::vector<size_t> fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  std::vector<size_t> values;
+  const char* p = raw;
+  while (*p != '\0') {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    values.push_back(static_cast<size_t>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return values.empty() ? fallback : values;
+}
+
+double DurationMsFromEnv() {
+  const char* raw = std::getenv("PVERIFY_SERVE_MS");
+  if (raw == nullptr || *raw == '\0') return 300.0;
+  double v = std::atof(raw);
+  return v > 0 ? v : 300.0;
+}
+
+struct SweepPoint {
+  size_t conns = 0;
+  size_t cache = 0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  size_t requests = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+double PercentileUs(const std::vector<int64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(q * static_cast<double>(sorted_ns.size()));
+  idx = std::min(idx, sorted_ns.size() - 1);
+  return static_cast<double>(sorted_ns[idx]) / 1000.0;
+}
+
+/// Drives one (conns × offered) configuration against the server and
+/// returns its latency profile. The arrival schedule is deterministic:
+/// connection c's request i is due at start + c·interval/conns + i·interval
+/// (staggered so connections do not fire in phase), and both the sender and
+/// the receiver recompute it — no shared timestamp state.
+SweepPoint RunPoint(uint16_t port, size_t conns, double offered_qps,
+                    double duration_ms, const std::vector<double>& points,
+                    const QueryOptions& opt) {
+  using std::chrono::nanoseconds;
+  const double interval_ns =
+      1e9 * static_cast<double>(conns) / offered_qps;
+  const size_t per_conn = std::max<size_t>(
+      1, static_cast<size_t>(duration_ms / 1000.0 * offered_qps /
+                             static_cast<double>(conns)));
+
+  std::vector<std::vector<int64_t>> latencies(conns);
+  std::vector<Clock::time_point> last_response(conns);
+  // Give every sender time to connect before the first slot is due.
+  const Clock::time_point start =
+      Clock::now() + std::chrono::milliseconds(50);
+  auto slot = [&](size_t conn, size_t i) {
+    return start + nanoseconds(static_cast<int64_t>(
+                       interval_ns * static_cast<double>(conn) /
+                           static_cast<double>(conns) +
+                       interval_ns * static_cast<double>(i)));
+  };
+
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < conns; ++c) {
+    workers.emplace_back([&, c] {
+      net::Client client = net::Client::Connect("127.0.0.1", port);
+      latencies[c].reserve(per_conn);
+      std::thread receiver([&] {
+        for (size_t got = 0; got < per_conn; ++got) {
+          net::ServeResponse response = client.ReadNext();
+          const Clock::time_point now = Clock::now();
+          if (!response.ok) {
+            std::fprintf(stderr, "loadgen: server error: %s\n",
+                         response.error.c_str());
+            std::exit(1);
+          }
+          // Ids are 1-based send order; charge from the scheduled slot.
+          latencies[c].push_back(
+              std::chrono::duration_cast<nanoseconds>(
+                  now - slot(c, response.request_id - 1))
+                  .count());
+          last_response[c] = now;
+        }
+      });
+      for (size_t i = 0; i < per_conn; ++i) {
+        std::this_thread::sleep_until(slot(c, i));
+        const double q = points[(c * per_conn + i) % points.size()];
+        client.Send(QueryRequest(PointQuery{q, opt}));
+      }
+      receiver.join();
+      client.Close();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  std::vector<int64_t> merged;
+  merged.reserve(conns * per_conn);
+  Clock::time_point end = start;
+  for (size_t c = 0; c < conns; ++c) {
+    merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
+    end = std::max(end, last_response[c]);
+  }
+  std::sort(merged.begin(), merged.end());
+
+  SweepPoint point;
+  point.conns = conns;
+  point.offered_qps = offered_qps;
+  point.requests = merged.size();
+  const double wall_s =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count() /
+      1e9;
+  point.achieved_qps =
+      wall_s > 0 ? static_cast<double>(merged.size()) / wall_s : 0.0;
+  point.p50_us = PercentileUs(merged, 0.50);
+  point.p99_us = PercentileUs(merged, 0.99);
+  point.p999_us = PercentileUs(merged, 0.999);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  const size_t dataset_size = bench::DatasetSizeFromEnv(4000);
+  const std::vector<size_t> qps_sweep =
+      ListFromEnv("PVERIFY_SERVE_QPS", {200, 400, 800, 1600});
+  const std::vector<size_t> conn_sweep =
+      ListFromEnv("PVERIFY_SERVE_CONNS", {1, 4});
+  const std::vector<size_t> cache_sweep =
+      ListFromEnv("PVERIFY_SERVE_CACHE", {0, 4096});
+  const double duration_ms = DurationMsFromEnv();
+
+  bench::PrintHeader("serve_loadgen",
+                     "open-loop latency/QPS sweep against pverify_serve "
+                     "over loopback");
+
+  datagen::SyntheticConfig config;
+  config.count = dataset_size;
+  Dataset data = datagen::MakeSynthetic(config);
+  // A bounded pool of distinct query points: the cache configurations get
+  // a hit-heavy steady state, the uncached ones are unaffected.
+  const std::vector<double> points = datagen::MakeQueryPoints(
+      256, config.domain_lo, config.domain_hi, /*seed=*/101);
+  QueryOptions opt;
+  opt.params = {0.3, 0.01};
+  opt.strategy = Strategy::kVR;
+
+  bench::BenchJsonWriter json("serve_loadgen", "BENCH_serve.json");
+  json.Config("dataset", static_cast<double>(dataset_size));
+  json.Config("distinct_points", static_cast<double>(points.size()));
+  json.Config("duration_ms", duration_ms);
+  json.Config("hardware_threads",
+              static_cast<double>(std::thread::hardware_concurrency()));
+
+  std::printf("%6s %6s %9s %10s %10s %10s %10s\n", "cache", "conns",
+              "offered", "achieved", "p50_us", "p99_us", "p999_us");
+  for (size_t cache : cache_sweep) {
+    // One server (and engine) per cache configuration, shared by every
+    // (conns × qps) point — exactly how a deployed server would see the
+    // sweep. A fresh engine per cache size keeps the memo cold at start.
+    std::unique_ptr<Engine> engine =
+        std::make_unique<QueryEngine>(data, EngineOptions{});
+    if (cache > 0) {
+      CachingEngineOptions copt;
+      copt.capacity = cache;
+      engine = MakeCachingEngine(std::move(engine), copt);
+    }
+    net::Server server(*engine);
+    server.Start();
+
+    for (size_t conns : conn_sweep) {
+      double saturation_qps = 0.0;
+      for (size_t offered : qps_sweep) {
+        SweepPoint point =
+            RunPoint(server.port(), conns, static_cast<double>(offered),
+                     duration_ms, points, opt);
+        point.cache = cache;
+        std::printf("%6zu %6zu %9.0f %10.1f %10.1f %10.1f %10.1f\n",
+                    point.cache, point.conns, point.offered_qps,
+                    point.achieved_qps, point.p50_us, point.p99_us,
+                    point.p999_us);
+        json.BeginResult();
+        json.Field("mode", "sweep");
+        json.Field("cache", static_cast<double>(point.cache));
+        json.Field("conns", static_cast<double>(point.conns));
+        json.Field("offered", point.offered_qps);
+        json.Field("achieved_qps", point.achieved_qps);
+        json.Field("requests", static_cast<double>(point.requests));
+        json.Field("p50_us", point.p50_us);
+        json.Field("p99_us", point.p99_us);
+        json.Field("p999_us", point.p999_us);
+        if (point.achieved_qps >= 0.9 * point.offered_qps) {
+          saturation_qps = std::max(saturation_qps, point.offered_qps);
+        }
+      }
+      std::printf("# cache=%zu conns=%zu saturation: %.0f q/s\n", cache,
+                  conns, saturation_qps);
+      json.BeginResult();
+      json.Field("mode", "saturation");
+      json.Field("cache", static_cast<double>(cache));
+      json.Field("conns", static_cast<double>(conns));
+      json.Field("saturation_qps", saturation_qps);
+    }
+    server.Stop();
+  }
+  return json.Write() ? 0 : 1;
+}

@@ -23,7 +23,7 @@ import sys
 # Fields that identify a row rather than measure it.
 KEY_FIELDS = ("stage", "pdf", "mode", "engine", "strategy", "candidates",
               "subregions", "pieces", "pdf_pieces", "batch", "threads",
-              "shards", "size", "k", "queries")
+              "shards", "size", "k", "queries", "conns", "cache", "offered")
 
 
 def row_key(row):

@@ -42,7 +42,7 @@ size_t CandidateArena::ApproxBytes() const {
       items.capacity() * sizeof(Candidate) +
       spare.capacity() * sizeof(DistanceDistribution) +
       (work_breaks.capacity() + work_values.capacity() +
-       work_fars.capacity()) * sizeof(double);
+       work_cuts.capacity() + work_fars.capacity()) * sizeof(double);
   for (const DistanceDistribution& d : spare) total += d.ApproxBytes();
   return total;
 }
@@ -92,7 +92,8 @@ CandidateSet CandidateSet::Build2D(
     if (arena != nullptr) {
       c.dist = arena->TakeDistribution();
       MakeDistanceDistribution2DInto(obj, q, radial_pieces, &c.dist,
-                                     arena->work_breaks, arena->work_values);
+                                     arena->work_breaks, arena->work_values,
+                                     &arena->work_cuts);
     } else {
       c.dist = MakeDistanceDistribution2D(obj, q, radial_pieces);
     }

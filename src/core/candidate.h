@@ -63,6 +63,8 @@ struct CandidateArena {
   /// Breakpoint / piece-value work buffers for distribution builds.
   std::vector<double> work_breaks;
   std::vector<double> work_values;
+  /// Split-point workspace of the 2-D radial-cdf batched scan.
+  std::vector<double> work_cuts;
   /// Far-point workspace for the k-aware pruning rule.
   std::vector<double> work_fars;
   /// TakeDistribution calls since the last Recycle, and the largest such

@@ -1,0 +1,107 @@
+#include "net/client.h"
+
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "net/codec.h"
+
+namespace pverify {
+namespace net {
+
+Client Client::Connect(const std::string& host, uint16_t port,
+                       ClientOptions options) {
+  return Client(ConnectTcp(host, port), options);
+}
+
+uint64_t Client::Send(const QueryRequest& request) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  uint64_t id = next_id_++;
+  WireWriter body;
+  EncodeRequest(request, body);
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(MessageType::kRequest, id,
+                    static_cast<uint32_t>(body.size()), header);
+  sock_.WriteAll(header, sizeof(header));
+  sock_.WriteAll(body.bytes().data(), body.size());
+  return id;
+}
+
+void Client::SendWithId(const QueryRequest& request, uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  WireWriter body;
+  EncodeRequest(request, body);
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(MessageType::kRequest, request_id,
+                    static_cast<uint32_t>(body.size()), header);
+  sock_.WriteAll(header, sizeof(header));
+  sock_.WriteAll(body.bytes().data(), body.size());
+}
+
+ServeResponse Client::ReadNext() {
+  std::lock_guard<std::mutex> lock(recv_mu_);
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!sock_.ReadExact(header_bytes, sizeof(header_bytes))) {
+    throw WireError("wire: server closed the connection");
+  }
+  FrameHeader header =
+      DecodeFrameHeader(header_bytes, options_.max_body_bytes);
+  std::vector<uint8_t> body(header.body_bytes);
+  if (header.body_bytes > 0 && !sock_.ReadExact(body.data(), body.size())) {
+    throw WireError("wire: connection closed before the frame body");
+  }
+  WireReader reader(body.data(), body.size());
+  ServeResponse response;
+  response.request_id = header.request_id;
+  switch (header.type) {
+    case MessageType::kResponse:
+      response.ok = true;
+      response.result = DecodeResult(reader);
+      reader.ExpectEnd();
+      break;
+    case MessageType::kError:
+      response.ok = false;
+      response.error = reader.String(options_.max_body_bytes);
+      reader.ExpectEnd();
+      break;
+    case MessageType::kRequest:
+      throw WireError("wire: unexpected request frame from the server");
+  }
+  return response;
+}
+
+ServeResponse Client::Await(uint64_t request_id) {
+  {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    auto it = stash_.find(request_id);
+    if (it != stash_.end()) {
+      ServeResponse response = std::move(it->second);
+      stash_.erase(it);
+      return response;
+    }
+  }
+  for (;;) {
+    ServeResponse response = ReadNext();
+    if (response.request_id == request_id) return response;
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    stash_[response.request_id] = std::move(response);
+  }
+}
+
+std::vector<ServeResponse> Client::Call(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<uint64_t> ids;
+  ids.reserve(requests.size());
+  for (const QueryRequest& request : requests) ids.push_back(Send(request));
+  std::vector<ServeResponse> responses;
+  responses.reserve(ids.size());
+  for (uint64_t id : ids) responses.push_back(Await(id));
+  return responses;
+}
+
+void Client::Close() {
+  if (sock_.valid()) ::shutdown(sock_.fd(), SHUT_WR);
+}
+
+}  // namespace net
+}  // namespace pverify

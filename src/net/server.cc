@@ -1,0 +1,209 @@
+#include "net/server.h"
+
+#include <utility>
+#include <vector>
+
+#include "net/codec.h"
+
+namespace pverify {
+namespace net {
+
+Server::Server(Engine& engine, ServerOptions options)
+    : engine_(engine), options_(options) {}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  listener_ = Listener::Bind(options_.port, options_.listen_backlog);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+}
+
+void Server::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto& conn : conns_) {
+    conn->sock.ShutdownBoth();
+    conn->cv.notify_all();
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  conns_.clear();
+  started_ = false;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = **it;
+    if (conn.finished.load(std::memory_order_acquire)) {
+      if (conn.reader.joinable()) conn.reader.join();
+      if (conn.writer.joinable()) conn.writer.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    Socket sock = listener_.Accept();
+    if (!sock.valid()) continue;  // shutdown or a racing client; re-check
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinishedLocked();
+    if (conns_.size() >= options_.max_connections) {
+      // Over the cap: tell the client why, then hang up. A best-effort
+      // write — a peer that already vanished only costs us the syscall.
+      WireWriter body;
+      body.String("server connection limit reached");
+      uint8_t header[kFrameHeaderBytes];
+      EncodeFrameHeader(MessageType::kError, 0,
+                        static_cast<uint32_t>(body.size()), header);
+      try {
+        sock.WriteAll(header, sizeof(header));
+        sock.WriteAll(body.bytes().data(), body.size());
+      } catch (const WireError&) {
+      }
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.connections_rejected;
+      continue;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(sock);
+    Connection* raw = conn.get();
+    conn->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    conn->writer = std::thread([this, raw] { WriterLoop(raw); });
+    conns_.push_back(std::move(conn));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void Server::ReaderLoop(Connection* conn) {
+  std::vector<uint8_t> body;
+  for (;;) {
+    uint8_t header_bytes[kFrameHeaderBytes];
+    uint64_t request_id = 0;
+    try {
+      if (!conn->sock.ReadExact(header_bytes, sizeof(header_bytes))) {
+        break;  // clean EOF between frames: client is done
+      }
+      FrameHeader header =
+          DecodeFrameHeader(header_bytes, options_.max_body_bytes);
+      request_id = header.request_id;
+      if (header.type != MessageType::kRequest) {
+        throw WireError("wire: expected a request frame");
+      }
+      body.resize(header.body_bytes);
+      if (header.body_bytes > 0 &&
+          !conn->sock.ReadExact(body.data(), body.size())) {
+        throw WireError("wire: connection closed before the frame body");
+      }
+      WireReader reader(body.data(), body.size());
+      QueryRequest request = DecodeRequest(reader);
+      reader.ExpectEnd();
+      std::future<QueryResult> future = engine_.Submit(std::move(request));
+      std::lock_guard<std::mutex> lock(conn->mu);
+      Outgoing out;
+      out.type = MessageType::kResponse;
+      out.request_id = request_id;
+      out.future = std::move(future);
+      conn->queue.push_back(std::move(out));
+      conn->cv.notify_one();
+    } catch (const WireError& e) {
+      // Malformed frame (or socket error): queue a final error frame and
+      // drop the connection once earlier responses have drained. The frame
+      // is best effort — if the socket itself died, the writer's send just
+      // fails and the teardown path is the same.
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.protocol_errors;
+      }
+      std::lock_guard<std::mutex> lock(conn->mu);
+      Outgoing out;
+      out.type = MessageType::kError;
+      out.request_id = request_id;
+      out.error = e.what();
+      out.close_after = true;
+      conn->queue.push_back(std::move(out));
+      conn->cv.notify_one();
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->reader_done = true;
+  conn->cv.notify_all();
+}
+
+void Server::SendFrame(Connection* conn, MessageType type, uint64_t request_id,
+                       const WireWriter& body) {
+  uint8_t header[kFrameHeaderBytes];
+  EncodeFrameHeader(type, request_id, static_cast<uint32_t>(body.size()),
+                    header);
+  conn->sock.WriteAll(header, sizeof(header));
+  if (body.size() > 0) conn->sock.WriteAll(body.bytes().data(), body.size());
+}
+
+void Server::WriterLoop(Connection* conn) {
+  bool close = false;
+  while (!close) {
+    Outgoing out;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return !conn->queue.empty() || conn->reader_done;
+      });
+      if (conn->queue.empty()) break;  // reader done and nothing pending
+      out = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    close = out.close_after;
+    WireWriter body;
+    MessageType type = out.type;
+    if (type == MessageType::kResponse) {
+      try {
+        // The future resolves even while this connection's peer pipelines
+        // more frames — the reader keeps Submitting concurrently.
+        QueryResult result = out.future.get();
+        EncodeResult(result, body);
+      } catch (const std::exception& e) {
+        // Request-level failure (engine rejected the query): report it on
+        // this request id and keep the connection alive.
+        type = MessageType::kError;
+        body.Clear();
+        body.String(e.what());
+      }
+    } else {
+      body.String(out.error);
+    }
+    try {
+      SendFrame(conn, type, out.request_id, body);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      if (type == MessageType::kResponse) {
+        ++stats_.requests_served;
+      } else if (!out.close_after) {  // protocol errors have their own count
+        ++stats_.request_errors;
+      }
+    } catch (const WireError&) {
+      break;  // peer went away; drain by exiting
+    }
+  }
+  // Unblock the reader if it is still parked in recv, then let the accept
+  // loop (or Stop) reap both threads.
+  conn->sock.ShutdownBoth();
+  conn->finished.store(true, std::memory_order_release);
+}
+
+}  // namespace net
+}  // namespace pverify

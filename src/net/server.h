@@ -1,0 +1,143 @@
+// pverify_serve's multi-client TCP server.
+//
+// Serving model: thread-per-connection (one reader + one writer thread per
+// accepted socket) behind a hard connection cap — NOT epoll. The trade was
+// deliberate: a pverify query costs milliseconds of CPU in the engine, so
+// the scalability bottleneck is the worker pool, not socket readiness —
+// every connection's requests are funneled through Engine::Submit, where
+// the SubmitQueue coalesces traffic from all connections into shared pool
+// batches (and an optional CachingEngine wrapper memoizes across
+// connections). Blocking reads keep the decode path a straight line with
+// strict frame sequencing per connection, and the cap bounds the thread
+// count (2 × max_connections) so thread-per-connection stays cheap: at the
+// point where thousands of concurrent sockets would demand epoll, the
+// engine would be saturated long before the kernel is.
+//
+// Per connection: the reader thread decodes frames into typed
+// QueryRequests and Submits them (so responses to one connection's
+// pipelined requests materialize through the engine's coalescer), handing
+// each pending future to the writer thread, which streams response frames
+// back tagged with the client's request ids. The protocol permits
+// out-of-order responses (ids are the correlation tags); this
+// implementation drains each connection's futures FIFO, which is
+// near-optimal because coalesced batches complete together.
+//
+// Error discipline:
+//  * protocol errors (bad magic/version, oversized length, unknown kind,
+//    truncated body) → best-effort kError frame, then the connection is
+//    closed. The server itself always stays up.
+//  * request-level failures (engine exceptions, e.g. a 2-D query against a
+//    1-D-only engine) → kError frame tagged with the request id; the
+//    connection stays open.
+#ifndef PVERIFY_NET_SERVER_H_
+#define PVERIFY_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "engine/engine.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace pverify {
+namespace net {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via Server::port()).
+  uint16_t port = 0;
+  /// Hard cap on concurrent connections; connection attempts beyond it get
+  /// a kError frame and an immediate close. Bounds the server's thread
+  /// count at 2 × max_connections + 1.
+  size_t max_connections = 64;
+  /// Frame-body size cap enforced on every received header.
+  uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  int listen_backlog = 64;
+};
+
+/// Point-in-time server telemetry.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_rejected = 0;  ///< over the max_connections cap
+  uint64_t requests_served = 0;       ///< response frames sent
+  uint64_t request_errors = 0;        ///< kError frames for failed requests
+  uint64_t protocol_errors = 0;       ///< malformed frames (connection dropped)
+};
+
+/// Serves one Engine over TCP. The engine must outlive the server; Stop()
+/// (or destruction) joins every thread before returning.
+class Server {
+ public:
+  explicit Server(Engine& engine, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept loop. Throws WireError when the
+  /// port cannot be bound.
+  void Start();
+
+  /// Drains and joins everything; idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start(); the ephemeral port when
+  /// options.port was 0).
+  uint16_t port() const { return listener_.port(); }
+
+  ServerStats stats() const;
+
+ private:
+  struct Outgoing {
+    MessageType type = MessageType::kResponse;
+    uint64_t request_id = 0;
+    std::future<QueryResult> future;  ///< engaged for kResponse entries
+    std::string error;                ///< message for kError entries
+    bool close_after = false;         ///< protocol error: drop the connection
+  };
+
+  struct Connection {
+    Socket sock;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Outgoing> queue;
+    bool reader_done = false;
+    std::atomic<bool> finished{false};  ///< writer exited; reapable
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  void SendFrame(Connection* conn, MessageType type, uint64_t request_id,
+                 const WireWriter& body);
+  /// Joins and erases connections whose writer has exited. Called from the
+  /// accept loop so a long-lived server does not accumulate dead threads.
+  void ReapFinishedLocked();
+
+  Engine& engine_;
+  ServerOptions options_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Connection>> conns_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace pverify
+
+#endif  // PVERIFY_NET_SERVER_H_

@@ -1,0 +1,173 @@
+#include "net/socket.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pverify {
+namespace net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw WireError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  // Query frames are small (tens of bytes); Nagle would add a full RTT of
+  // batching delay to every pipelined request, which is exactly the latency
+  // the load generator measures.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::WriteAll(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    ssize_t written = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("socket write");
+    }
+    if (written == 0) throw WireError("socket write: connection closed");
+    p += written;
+    n -= static_cast<size_t>(written);
+  }
+}
+
+bool Socket::ReadExact(void* data, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("socket read");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF between frames
+      throw WireError("socket read: connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+Socket ConnectTcp(const std::string& host, uint16_t port) {
+  struct addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints,
+                         &res);
+  if (rc != 0) {
+    throw WireError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  int saved_errno = 0;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    errno = saved_errno;
+    ThrowErrno("connect " + host + ":" + std::to_string(port));
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+Listener Listener::Bind(uint16_t port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) ThrowErrno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) < 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("listen");
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) <
+      0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    ThrowErrno("getsockname");
+  }
+
+  Listener listener;
+  listener.fd_ = Socket(fd);
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Socket Listener::Accept() {
+  for (;;) {
+    int fd = ::accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      SetNoDelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // EINVAL/EBADF after Shutdown(), ECONNABORTED on a racing client —
+    // either way the accept loop treats an invalid socket as "check the
+    // stop flag".
+    return Socket();
+  }
+}
+
+}  // namespace net
+}  // namespace pverify

@@ -1,0 +1,81 @@
+// Thin RAII wrappers over POSIX TCP sockets, shared by the server and the
+// client library. Blocking I/O only: the serving model is
+// thread-per-connection (see net/server.h for why), so nothing here needs
+// readiness notification. All failures throw net::WireError with errno
+// context; SIGPIPE is avoided via MSG_NOSIGNAL rather than a global signal
+// disposition.
+#ifndef PVERIFY_NET_SOCKET_H_
+#define PVERIFY_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+
+namespace pverify {
+namespace net {
+
+/// One connected TCP socket. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in ReadExact/WriteAll
+  /// on this socket (used to tear down reader/writer thread pairs) without
+  /// racing the close of the descriptor itself.
+  void ShutdownBoth();
+
+  /// Writes all n bytes; throws WireError on any error or peer reset.
+  void WriteAll(const void* data, size_t n);
+
+  /// Reads exactly n bytes. Returns false on EOF before the first byte (a
+  /// clean peer close between frames); throws WireError on EOF mid-buffer
+  /// (a truncated frame) or any socket error.
+  bool ReadExact(void* data, size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port (numeric IP or name). Throws WireError on failure.
+Socket ConnectTcp(const std::string& host, uint16_t port);
+
+/// A listening TCP socket bound to the loopback-reachable wildcard address.
+class Listener {
+ public:
+  Listener() = default;
+  /// Binds and listens; port 0 picks an ephemeral port (read it back via
+  /// port() — tools print it and tests connect to it).
+  static Listener Bind(uint16_t port, int backlog);
+
+  bool valid() const { return fd_.valid(); }
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Returns an invalid Socket once the
+  /// listener was Shutdown() (the accept-loop exit signal).
+  Socket Accept();
+
+  /// Unblocks Accept() and prevents further connections.
+  void Shutdown() { fd_.ShutdownBoth(); }
+
+ private:
+  Socket fd_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace pverify
+
+#endif  // PVERIFY_NET_SOCKET_H_

@@ -1,0 +1,62 @@
+#include "net/wire.h"
+
+namespace pverify {
+namespace net {
+
+namespace {
+
+template <typename T>
+void PutLe(uint8_t* out, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+template <typename T>
+T GetLe(const uint8_t* in) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v = static_cast<T>(v | (static_cast<T>(in[i]) << (8 * i)));
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrameHeader(MessageType type, uint64_t request_id,
+                       uint32_t body_bytes, uint8_t* out) {
+  PutLe<uint32_t>(out + 0, kWireMagic);
+  PutLe<uint16_t>(out + 4, kWireVersion);
+  PutLe<uint16_t>(out + 6, static_cast<uint16_t>(type));
+  PutLe<uint64_t>(out + 8, request_id);
+  PutLe<uint32_t>(out + 16, body_bytes);
+}
+
+FrameHeader DecodeFrameHeader(const uint8_t* in, uint32_t max_body_bytes) {
+  if (GetLe<uint32_t>(in + 0) != kWireMagic) {
+    throw WireError("wire: bad frame magic");
+  }
+  FrameHeader h;
+  h.version = GetLe<uint16_t>(in + 4);
+  if (h.version != kWireVersion) {
+    throw WireError("wire: unsupported protocol version " +
+                    std::to_string(h.version));
+  }
+  uint16_t type = GetLe<uint16_t>(in + 6);
+  if (type < static_cast<uint16_t>(MessageType::kRequest) ||
+      type > static_cast<uint16_t>(MessageType::kError)) {
+    throw WireError("wire: unknown frame type " + std::to_string(type));
+  }
+  h.type = static_cast<MessageType>(type);
+  h.request_id = GetLe<uint64_t>(in + 8);
+  h.body_bytes = GetLe<uint32_t>(in + 16);
+  if (h.body_bytes > max_body_bytes) {
+    throw WireError("wire: frame body of " + std::to_string(h.body_bytes) +
+                    " bytes exceeds the " + std::to_string(max_body_bytes) +
+                    "-byte cap");
+  }
+  return h;
+}
+
+}  // namespace net
+}  // namespace pverify

@@ -27,6 +27,16 @@ double UncertainObject2D::AreaWithinDistance(Point2 q, double r) const {
   return CircleCircleIntersectionArea(q, r, circle());
 }
 
+void UncertainObject2D::AreaWithinDistanceSorted(
+    Point2 q, const double* rs, size_t n, double* out,
+    std::vector<double>& cuts) const {
+  if (is_rect()) {
+    CircleRectIntersectionAreas(q, rs, n, rect(), out, cuts);
+  } else {
+    CircleCircleIntersectionAreas(q, rs, n, circle(), out);
+  }
+}
+
 DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
                                                 Point2 q, int pieces) {
   DistanceDistribution out;
@@ -39,7 +49,8 @@ DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
 void MakeDistanceDistribution2DInto(const UncertainObject2D& obj, Point2 q,
                                     int pieces, DistanceDistribution* out,
                                     std::vector<double>& breaks,
-                                    std::vector<double>& values) {
+                                    std::vector<double>& values,
+                                    std::vector<double>* cuts) {
   PV_CHECK_MSG(pieces >= 1, "need at least one piece");
   const double near = obj.MinDist(q);
   const double far = obj.MaxDist(q);
@@ -52,11 +63,20 @@ void MakeDistanceDistribution2DInto(const UncertainObject2D& obj, Point2 q,
   const double w = (far - near) / pieces;
   for (int i = 0; i <= pieces; ++i) breaks[i] = near + i * w;
   breaks.back() = far;
+
+  // Evaluate the radial areas at breaks[1..pieces-1] in one batched scan
+  // (the geometry invariants are hoisted once per object, not per radius),
+  // staged in `values`: values[i] holds the area at breaks[i+1] and each
+  // slot is read before the differencing loop overwrites it. The cdf at
+  // far is pinned to 1 exactly, so the last grid point needs no geometry.
+  std::vector<double> local_cuts;
+  obj.AreaWithinDistanceSorted(q, breaks.data() + 1,
+                               static_cast<size_t>(pieces) - 1, values.data(),
+                               cuts != nullptr ? *cuts : local_cuts);
+
   double prev = 0.0;  // cdf at near is 0
   for (int i = 0; i < pieces; ++i) {
-    double next = (i + 1 == pieces)
-                      ? 1.0
-                      : obj.AreaWithinDistance(q, breaks[i + 1]) / area;
+    double next = (i + 1 == pieces) ? 1.0 : values[i] / area;
     next = std::clamp(next, prev, 1.0);  // enforce monotonicity numerically
     values[i] = (next - prev) / (breaks[i + 1] - breaks[i]);
     prev = next;

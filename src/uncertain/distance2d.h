@@ -39,6 +39,15 @@ class UncertainObject2D {
   /// Exact area of the region clipped to disk(q, r).
   double AreaWithinDistance(Point2 q, double r) const;
 
+  /// Batched variant over an ascending radius grid: `out[i]` =
+  /// AreaWithinDistance(q, rs[i]), bit-identical, with the per-call
+  /// geometry invariants hoisted out of the loop and `cuts` reused as the
+  /// rectangle case's split workspace (unused for disks). This is the
+  /// radial-cdf build's merge-scan path — one pass over the grid instead
+  /// of one full geometry setup per radius.
+  void AreaWithinDistanceSorted(Point2 q, const double* rs, size_t n,
+                                double* out, std::vector<double>& cuts) const;
+
  private:
   ObjectId id_;
   std::variant<Rect2, Circle2> region_;
@@ -55,10 +64,15 @@ DistanceDistribution MakeDistanceDistribution2D(const UncertainObject2D& obj,
 /// `breaks`/`values` as radial-cdf work buffers. Same arithmetic as
 /// MakeDistanceDistribution2D, so the result is bit-identical; once the
 /// buffer and `out` capacities cover the piece count, no allocation happens.
+/// The radial cdf is evaluated through AreaWithinDistanceSorted — one
+/// batched scan over the ascending radius grid. `cuts`, when provided, is
+/// the scan's split-point workspace (a CandidateArena passes its recycled
+/// buffer); nullptr uses a local vector.
 void MakeDistanceDistribution2DInto(const UncertainObject2D& obj, Point2 q,
                                     int pieces, DistanceDistribution* out,
                                     std::vector<double>& breaks,
-                                    std::vector<double>& values);
+                                    std::vector<double>& values,
+                                    std::vector<double>* cuts = nullptr);
 
 using Dataset2D = std::vector<UncertainObject2D>;
 

@@ -53,21 +53,23 @@ double MaxDistToCircle(Point2 q, const Circle2& c) {
   return Distance(q, {c.cx, c.cy}) + c.r;
 }
 
-double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect) {
-  PV_CHECK_MSG(r >= 0.0, "negative radius");
-  if (r == 0.0) return 0.0;
-  // Translate so the disk is centered at the origin.
-  const double x1 = rect.x1 - q.x;
-  const double x2 = rect.x2 - q.x;
-  const double y1 = rect.y1 - q.y;
-  const double y2 = rect.y2 - q.y;
+namespace {
+
+// Per-radius kernel shared by the single-shot and batched rect entry
+// points: the rect is already translated into the disk frame and `cuts` is
+// caller-provided workspace. Keeping one kernel is what makes the batched
+// scan bit-identical to per-radius calls by construction.
+double RectAreaAtRadius(double r, double x1, double x2, double y1, double y2,
+                        std::vector<double>& cuts) {
   const double a = std::max(x1, -r);
   const double b = std::min(x2, r);
   if (b <= a) return 0.0;
 
   // Split [a, b] wherever the disk boundary crosses y = y1 or y = y2, then
   // integrate the clipped vertical extent exactly on each piece.
-  std::vector<double> cuts = {a, b};
+  cuts.clear();
+  cuts.push_back(a);
+  cuts.push_back(b);
   for (double y : {y1, y2}) {
     if (std::abs(y) < r) {
       double xc = std::sqrt(r * r - y * y);
@@ -75,7 +77,7 @@ double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect) {
       if (-xc > a && -xc < b) cuts.push_back(-xc);
     }
   }
-  cuts = SortedUnique(std::move(cuts));
+  SortedUniqueInPlace(cuts);
 
   double area = 0.0;
   for (size_t i = 0; i + 1 < cuts.size(); ++i) {
@@ -105,11 +107,9 @@ double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect) {
   return area;
 }
 
-double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c) {
-  PV_CHECK_MSG(r >= 0.0 && c.r >= 0.0, "negative radius");
-  const double d = Distance(q, {c.cx, c.cy});
-  const double r1 = r;
-  const double r2 = c.r;
+// Per-radius kernel of the disk case: the center distance d is the loop
+// invariant the batched scan hoists.
+double CircleOverlapAtRadius(double r1, double r2, double d) {
   if (r1 == 0.0 || r2 == 0.0) return 0.0;
   if (d >= r1 + r2) return 0.0;  // disjoint
   if (d <= std::abs(r1 - r2)) {  // one inside the other
@@ -125,6 +125,47 @@ double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c) {
            dist * std::sqrt(std::max(0.0, radius * radius - dist * dist));
   };
   return segment(r1, d1) + segment(r2, d2);
+}
+
+}  // namespace
+
+double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect) {
+  PV_CHECK_MSG(r >= 0.0, "negative radius");
+  if (r == 0.0) return 0.0;
+  // Translate so the disk is centered at the origin.
+  std::vector<double> cuts;
+  return RectAreaAtRadius(r, rect.x1 - q.x, rect.x2 - q.x, rect.y1 - q.y,
+                          rect.y2 - q.y, cuts);
+}
+
+double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c) {
+  PV_CHECK_MSG(r >= 0.0 && c.r >= 0.0, "negative radius");
+  return CircleOverlapAtRadius(r, c.r, Distance(q, {c.cx, c.cy}));
+}
+
+void CircleRectIntersectionAreas(Point2 q, const double* rs, size_t n,
+                                 const Rect2& rect, double* out,
+                                 std::vector<double>& cuts) {
+  // Hoisted per-call invariants: one translation for the whole grid.
+  const double x1 = rect.x1 - q.x;
+  const double x2 = rect.x2 - q.x;
+  const double y1 = rect.y1 - q.y;
+  const double y2 = rect.y2 - q.y;
+  for (size_t i = 0; i < n; ++i) {
+    PV_CHECK_MSG(rs[i] >= 0.0, "negative radius");
+    out[i] = rs[i] == 0.0
+                 ? 0.0
+                 : RectAreaAtRadius(rs[i], x1, x2, y1, y2, cuts);
+  }
+}
+
+void CircleCircleIntersectionAreas(Point2 q, const double* rs, size_t n,
+                                   const Circle2& c, double* out) {
+  const double d = Distance(q, {c.cx, c.cy});  // hoisted
+  for (size_t i = 0; i < n; ++i) {
+    PV_CHECK_MSG(rs[i] >= 0.0, "negative radius");
+    out[i] = CircleOverlapAtRadius(rs[i], c.r, d);
+  }
 }
 
 }  // namespace pverify

@@ -5,6 +5,9 @@
 #ifndef PVERIFY_UNCERTAIN_GEOMETRY2D_H_
 #define PVERIFY_UNCERTAIN_GEOMETRY2D_H_
 
+#include <cstddef>
+#include <vector>
+
 namespace pverify {
 
 /// A 2-D point.
@@ -55,6 +58,23 @@ double CircleRectIntersectionArea(Point2 q, double r, const Rect2& rect);
 
 /// Exact area of disk(q, r) ∩ disk(c). Standard lens formula.
 double CircleCircleIntersectionArea(Point2 q, double r, const Circle2& c);
+
+/// Batched variants over an ascending radius grid (the radial-cdf build's
+/// access pattern): `out[i] = area(disk(q, rs[i]) ∩ region)` for all n
+/// radii in one scan. Loop invariants — the rectangle translated into the
+/// disk frame, the circle-center distance — are hoisted out of the radius
+/// loop, and `cuts` is reused as the boundary-split workspace across radii
+/// (the single-shot function allocates it per call). The per-radius
+/// arithmetic is verbatim the single-radius function, so every out[i] is
+/// bit-identical to CircleRectIntersectionArea(q, rs[i], rect).
+void CircleRectIntersectionAreas(Point2 q, const double* rs, size_t n,
+                                 const Rect2& rect, double* out,
+                                 std::vector<double>& cuts);
+
+/// Disk counterpart: same contract, bit-identical to per-radius calls of
+/// CircleCircleIntersectionArea.
+void CircleCircleIntersectionAreas(Point2 q, const double* rs, size_t n,
+                                   const Circle2& c, double* out);
 
 }  // namespace pverify
 

@@ -78,6 +78,69 @@ TEST(Distance2DTest, MonotoneCdfForRandomObjects) {
   }
 }
 
+// The radial-cdf build now evaluates all grid radii through the batched
+// AreaWithinDistanceSorted scan; pin it bit-identical to per-radius calls,
+// and pin the Into variant (with and without an external cuts workspace)
+// bit-identical to MakeDistanceDistribution2D.
+TEST(Distance2DTest, BatchedRadialScanBitIdenticalToPerRadius) {
+  Rng rng(21);
+  std::vector<double> cuts;
+  for (int t = 0; t < 12; ++t) {
+    UncertainObject2D obj =
+        (t % 2 == 0)
+            ? UncertainObject2D(t, Circle2{rng.Uniform(-5, 5),
+                                           rng.Uniform(-5, 5),
+                                           rng.Uniform(0.5, 3.0)})
+            : UncertainObject2D(
+                  t, Rect2{rng.Uniform(-5, 0), rng.Uniform(-5, 0),
+                           rng.Uniform(0.5, 5), rng.Uniform(0.5, 5)});
+    Point2 q{rng.Uniform(-6, 6), rng.Uniform(-6, 6)};
+    const double near = obj.MinDist(q);
+    const double far = obj.MaxDist(q);
+    std::vector<double> rs;
+    for (int i = 0; i <= 40; ++i) rs.push_back(near + (far - near) * i / 40);
+    std::vector<double> got(rs.size(), -1.0);
+    obj.AreaWithinDistanceSorted(q, rs.data(), rs.size(), got.data(), cuts);
+    for (size_t i = 0; i < rs.size(); ++i) {
+      EXPECT_EQ(got[i], obj.AreaWithinDistance(q, rs[i]))
+          << "t=" << t << " r=" << rs[i];
+    }
+  }
+}
+
+TEST(Distance2DTest, IntoVariantBitIdenticalWithAndWithoutCutsBuffer) {
+  Rng rng(23);
+  std::vector<double> breaks, values, cuts;
+  for (int t = 0; t < 12; ++t) {
+    UncertainObject2D obj =
+        (t % 2 == 0)
+            ? UncertainObject2D(t, Circle2{rng.Uniform(-5, 5),
+                                           rng.Uniform(-5, 5),
+                                           rng.Uniform(0.5, 3.0)})
+            : UncertainObject2D(
+                  t, Rect2{rng.Uniform(-5, 0), rng.Uniform(-5, 0),
+                           rng.Uniform(0.5, 5), rng.Uniform(0.5, 5)});
+    Point2 q{rng.Uniform(-6, 6), rng.Uniform(-6, 6)};
+    const int pieces = 1 + (t % 2 == 0 ? 63 : 32);
+    DistanceDistribution expect = MakeDistanceDistribution2D(obj, q, pieces);
+    DistanceDistribution with_cuts, without_cuts;
+    MakeDistanceDistribution2DInto(obj, q, pieces, &with_cuts, breaks, values,
+                                   &cuts);
+    MakeDistanceDistribution2DInto(obj, q, pieces, &without_cuts, breaks,
+                                   values);
+    for (const DistanceDistribution* got : {&with_cuts, &without_cuts}) {
+      ASSERT_EQ(got->pdf().breaks().size(), expect.pdf().breaks().size());
+      for (size_t i = 0; i < expect.pdf().breaks().size(); ++i) {
+        EXPECT_EQ(got->pdf().breaks()[i], expect.pdf().breaks()[i]);
+      }
+      ASSERT_EQ(got->pdf().values().size(), expect.pdf().values().size());
+      for (size_t i = 0; i < expect.pdf().values().size(); ++i) {
+        EXPECT_EQ(got->pdf().values()[i], expect.pdf().values()[i]);
+      }
+    }
+  }
+}
+
 TEST(Distance2DTest, DegenerateRegionRejected) {
   UncertainObject2D obj(5, Rect2{1.0, 1.0, 1.0, 2.0});  // zero width
   EXPECT_THROW(MakeDistanceDistribution2D(obj, {0.0, 0.0}),

@@ -1,6 +1,8 @@
 #include "uncertain/geometry2d.h"
 
 #include <cmath>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -129,6 +131,72 @@ TEST_P(AreaMonteCarloTest, CircleCircleMatchesSampling) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AreaMonteCarloTest, ::testing::Range(0, 8));
+
+// The batched merge-scan variants must produce bit-for-bit the same doubles
+// as per-radius single-shot calls — that is their documented contract (the
+// radial-cdf build switched to them, and answers must not move).
+TEST(BatchedAreaTest, CircleRectBatchedBitIdenticalToSingleShot) {
+  Rng rng(41);
+  std::vector<double> cuts;
+  for (int t = 0; t < 20; ++t) {
+    Rect2 rect;
+    rect.x1 = rng.Uniform(-5.0, 0.0);
+    rect.y1 = rng.Uniform(-5.0, 0.0);
+    rect.x2 = rect.x1 + rng.Uniform(0.5, 6.0);
+    rect.y2 = rect.y1 + rng.Uniform(0.5, 6.0);
+    Point2 q{rng.Uniform(-4.0, 4.0), rng.Uniform(-4.0, 4.0)};
+
+    // Ascending grid spanning disjoint through fully-containing radii,
+    // including r = 0 and an exact repeat of the previous radius.
+    std::vector<double> rs;
+    double r = 0.0;
+    for (int i = 0; i < 24; ++i) {
+      rs.push_back(r);
+      if (i == 10) rs.push_back(r);  // duplicate radius
+      r += rng.Uniform(0.0, 1.5);
+    }
+    std::vector<double> got(rs.size(), -1.0);
+    CircleRectIntersectionAreas(q, rs.data(), rs.size(), rect, got.data(),
+                                cuts);
+    for (size_t i = 0; i < rs.size(); ++i) {
+      double expect = CircleRectIntersectionArea(q, rs[i], rect);
+      EXPECT_EQ(got[i], expect) << "t=" << t << " i=" << i << " r=" << rs[i];
+    }
+  }
+}
+
+TEST(BatchedAreaTest, CircleCircleBatchedBitIdenticalToSingleShot) {
+  Rng rng(43);
+  for (int t = 0; t < 20; ++t) {
+    Circle2 c{rng.Uniform(-2.0, 2.0), rng.Uniform(-2.0, 2.0),
+              rng.Uniform(0.5, 3.0)};
+    Point2 q{rng.Uniform(-3.0, 3.0), rng.Uniform(-3.0, 3.0)};
+    std::vector<double> rs;
+    double r = 0.0;
+    for (int i = 0; i < 24; ++i) {
+      rs.push_back(r);
+      r += rng.Uniform(0.0, 1.0);
+    }
+    std::vector<double> got(rs.size(), -1.0);
+    CircleCircleIntersectionAreas(q, rs.data(), rs.size(), c, got.data());
+    for (size_t i = 0; i < rs.size(); ++i) {
+      double expect = CircleCircleIntersectionArea(q, rs[i], c);
+      EXPECT_EQ(got[i], expect) << "t=" << t << " i=" << i << " r=" << rs[i];
+    }
+  }
+}
+
+TEST(BatchedAreaTest, NegativeRadiusStillRejected) {
+  Rect2 rect{0.0, 0.0, 2.0, 2.0};
+  Circle2 c{0.0, 0.0, 1.0};
+  const double rs[] = {0.5, -1.0};
+  double out[2];
+  std::vector<double> cuts;
+  EXPECT_THROW(CircleRectIntersectionAreas({0, 0}, rs, 2, rect, out, cuts),
+               std::logic_error);
+  EXPECT_THROW(CircleCircleIntersectionAreas({0, 0}, rs, 2, c, out),
+               std::logic_error);
+}
 
 // Area is monotone in r — required for valid radial cdfs.
 TEST(CircleRectTest, MonotoneInRadius) {

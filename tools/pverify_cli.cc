@@ -21,6 +21,13 @@
 //                      a synthetic 2-D dataset + query workload is
 //                      generated (engine-native kPoint2D requests); the
 //                      other batch flags compose.
+//   --connect=H:P      client mode: ship the batch to a running
+//                      pverify_serve at host H port P through the net
+//                      client library (pipelined frames) instead of
+//                      building a local engine; the local sequential loop
+//                      still runs as the baseline/equivalence check. The
+//                      engine-shape flags (--shards/--async/--pool/
+//                      --cache) belong to the server in this mode.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,10 +43,12 @@
 #include "datagen/dataset_io.h"
 #include "datagen/partition.h"
 #include "datagen/workload.h"
+#include "common/timer.h"
 #include "engine/caching_engine.h"
 #include "engine/engine.h"
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
+#include "net/client.h"
 
 using namespace pverify;
 
@@ -58,7 +67,7 @@ int Usage() {
       "[tolerance]\n"
       "               [--shards=N] [--policy=hash|range] [--async] "
       "[--dim=2] [--pool=steal|queue]\n"
-      "               [--cache=N]\n"
+      "               [--cache=N] [--connect=host:port]\n"
       "               (--dim=2 reads <dataset> as a synthetic 2-D object "
       "count;\n"
       "                --cache=N memoizes up to N results and replays the "
@@ -73,7 +82,9 @@ struct BatchFlags {
   bool async = false;
   int dim = 1;  ///< 2 = synthetic 2-D workload through kPoint2D
   PoolKind pool = PoolKind::kWorkStealing;
+  bool pool_set = false;
   size_t cache = 0;  ///< 0 = no caching tier; N = CachingEngine capacity
+  std::string connect;  ///< "host:port" = remote batch via pverify_serve
 };
 
 double ParseDouble(const char* s) {
@@ -259,6 +270,64 @@ int RunBatchOnEngine(Engine& engine, ShardedQueryEngine* sharded,
                      engine.num_threads());
 }
 
+// Client-mode tail of the batch modes (--connect): pipeline the whole
+// workload to a running pverify_serve through the net client library and
+// report it against the local sequential baseline. The per-query stats the
+// server sends back are accumulated exactly as a local batch would, so the
+// phase breakdown still prints.
+template <typename Point>
+int RunRemoteBatch(const bench::ThroughputPoint& seq,
+                   const std::vector<Point>& points, const QueryOptions& opt,
+                   const BatchFlags& flags, double threshold,
+                   double tolerance) {
+  const size_t colon = flags.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0) {
+    std::fprintf(stderr, "error: --connect expects host:port\n");
+    return 2;
+  }
+  const std::string host = flags.connect.substr(0, colon);
+  const int port = std::atoi(flags.connect.c_str() + colon + 1);
+  if (port < 1 || port > 65535) {
+    std::fprintf(stderr, "error: bad port in --connect\n");
+    return 2;
+  }
+
+  net::Client client =
+      net::Client::Connect(host, static_cast<uint16_t>(port));
+  std::vector<QueryRequest> requests;
+  requests.reserve(points.size());
+  for (Point q : points) {
+    requests.push_back(bench::MakePointRequest(q, opt));
+  }
+  bench::ThroughputPoint remote;
+  remote.queries = points.size();
+  Timer wall;
+  std::vector<net::ServeResponse> responses = client.Call(requests);
+  remote.wall_ms = wall.ElapsedMs();
+  client.Close();
+
+  EngineStats stats;
+  for (const net::ServeResponse& r : responses) {
+    if (!r.ok) {
+      std::fprintf(stderr, "error: server rejected request %llu: %s\n",
+                   static_cast<unsigned long long>(r.request_id),
+                   r.error.c_str());
+      return 1;
+    }
+    remote.answers += r.result.ids.size();
+    AccumulateBatchResult(r.result.stats, &stats);
+  }
+  stats.wall_ms = remote.wall_ms;
+  std::printf("# remote: %s (%zu pipelined requests", flags.connect.c_str(),
+              responses.size());
+  if (stats.cache.hits > 0) {
+    std::printf(", %zu served from the server cache", stats.cache.hits);
+  }
+  std::printf(")\n");
+  return ReportBatch(seq, remote, stats, SubmitQueueStats{}, flags, threshold,
+                     tolerance, points.size(), /*engine_threads=*/0);
+}
+
 // Batched throughput mode: random query points over the dataset's domain,
 // run once as a sequential loop and once through the multi-threaded engine
 // (unsharded or sharded, blocking batch or async Submit stream).
@@ -284,6 +353,10 @@ int RunBatch(const Dataset& data, size_t num_queries, size_t threads,
   // engine, both timed by the shared bench helpers.
   CpnnExecutor exec(data);
   bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
+
+  if (!flags.connect.empty()) {
+    return RunRemoteBatch(seq, points, opt, flags, threshold, tolerance);
+  }
 
   ShardedQueryEngine* sharded = nullptr;
   std::unique_ptr<Engine> engine = MakeBatchEngine(
@@ -332,6 +405,10 @@ int RunBatch2D(size_t count, size_t num_queries, size_t threads,
 
   CpnnExecutor2D exec(data);
   bench::ThroughputPoint seq = bench::TimeSequentialLoop(exec, points, opt);
+
+  if (!flags.connect.empty()) {
+    return RunRemoteBatch(seq, points, opt, flags, threshold, tolerance);
+  }
 
   ShardedQueryEngine* sharded = nullptr;
   std::unique_ptr<Engine> engine = MakeBatchEngine(
@@ -406,6 +483,7 @@ int main(int argc, char** argv) {
       flags.async = true;
     } else if (std::strncmp(a, "--pool=", 7) == 0) {
       const std::string name = a + 7;
+      flags.pool_set = true;
       if (name == "steal") {
         flags.pool = PoolKind::kWorkStealing;
       } else if (name == "queue") {
@@ -414,6 +492,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --pool must be steal or queue\n");
         return 2;
       }
+    } else if (std::strncmp(a, "--connect=", 10) == 0) {
+      flags.connect = a + 10;
     } else if (std::strncmp(a, "--cache=", 8) == 0) {
       double n = ParseDouble(a + 8);
       if (n < 0) {
@@ -442,8 +522,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (saw_flags && cmd != "batch") {
     std::fprintf(stderr,
-                 "error: --shards/--policy/--async/--dim/--pool/--cache "
-                 "apply to batch only\n");
+                 "error: --shards/--policy/--async/--dim/--pool/--cache/"
+                 "--connect apply to batch only\n");
+    return 2;
+  }
+  if (!flags.connect.empty() &&
+      (flags.shards != 0 || flags.async || flags.cache != 0 ||
+       flags.pool_set || flags.policy != "hash")) {
+    std::fprintf(stderr,
+                 "error: --connect ships the batch to a server; the engine "
+                 "shape (--shards/--policy/--async/--pool/--cache) is the "
+                 "server's\n");
     return 2;
   }
   // The 2-D batch mode synthesizes its dataset: <dataset> is an object
