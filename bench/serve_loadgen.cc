@@ -24,11 +24,27 @@
 //                       (default 0,4096)
 //   PVERIFY_SERVE_MS    measured duration per configuration in ms
 //                       (default 300)
+//   PVERIFY_SERVE_DEADLINE_MS  per-request deadline stamped on every frame
+//                       (default 0 = none; expired requests come back as
+//                       typed kDeadlineExceeded answers, counted below)
+//   PVERIFY_SERVE_RETRIES  re-send budget per request for retryable
+//                       failures — kOverloaded/kShuttingDown/deadline
+//                       answers (default 2; 0 = fail immediately)
+//
+// Failure accounting: a retryable rejection is re-sent up to the budget and
+// its latency stays charged from the ORIGINAL scheduled slot (coordinated
+// omission stays honest — backoff time is server-attributed latency, not
+// forgiven). Requests that still fail count as errors; kDeadlineExceeded
+// answers count as timeouts. All three land in BENCH_serve.json per point
+// and a dead connection marks its outstanding requests as errors instead
+// of killing the run.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,12 +85,23 @@ double DurationMsFromEnv() {
   return v > 0 ? v : 300.0;
 }
 
+size_t SizeFromEnv(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  return end == raw ? fallback : static_cast<size_t>(v);
+}
+
 struct SweepPoint {
   size_t conns = 0;
   size_t cache = 0;
   double offered_qps = 0.0;
   double achieved_qps = 0.0;
   size_t requests = 0;
+  size_t errors = 0;    ///< requests that never got an ok answer
+  size_t timeouts = 0;  ///< kDeadlineExceeded answers seen (pre-retry)
+  size_t retries = 0;   ///< re-sends after a retryable rejection
   double p50_us = 0.0;
   double p99_us = 0.0;
   double p999_us = 0.0;
@@ -101,9 +128,14 @@ SweepPoint RunPoint(uint16_t port, size_t conns, double offered_qps,
   const size_t per_conn = std::max<size_t>(
       1, static_cast<size_t>(duration_ms / 1000.0 * offered_qps /
                              static_cast<double>(conns)));
+  const uint32_t deadline_ms = static_cast<uint32_t>(
+      SizeFromEnv("PVERIFY_SERVE_DEADLINE_MS", 0));
+  const size_t retry_budget = SizeFromEnv("PVERIFY_SERVE_RETRIES", 2);
 
   std::vector<std::vector<int64_t>> latencies(conns);
   std::vector<Clock::time_point> last_response(conns);
+  std::vector<size_t> errors(conns, 0), timeouts(conns, 0),
+      retries(conns, 0);
   // Give every sender time to connect before the first slot is due.
   const Clock::time_point start =
       Clock::now() + std::chrono::milliseconds(50);
@@ -119,27 +151,78 @@ SweepPoint RunPoint(uint16_t port, size_t conns, double offered_qps,
     workers.emplace_back([&, c] {
       net::Client client = net::Client::Connect("127.0.0.1", port);
       latencies[c].reserve(per_conn);
+      // Retries give a request a fresh id, so responses map back to their
+      // scheduled slot through this table. Insertions happen under the
+      // same lock as the Send so the receiver can never see an id it
+      // cannot resolve. Send itself is safe against the concurrent
+      // receiver (separate send/recv locks in Client), so the receiver
+      // re-sends retryable failures directly.
+      std::mutex map_mu;
+      std::map<uint64_t, size_t> slot_of;
+      std::vector<size_t> tries(per_conn, 0);
+      auto send_slot = [&](size_t i) {
+        const double q = points[(c * per_conn + i) % points.size()];
+        std::lock_guard<std::mutex> lock(map_mu);
+        uint64_t id = client.Send(QueryRequest(PointQuery{q, opt}),
+                                  deadline_ms);
+        slot_of[id] = i;
+      };
       std::thread receiver([&] {
-        for (size_t got = 0; got < per_conn; ++got) {
-          net::ServeResponse response = client.ReadNext();
-          const Clock::time_point now = Clock::now();
-          if (!response.ok) {
-            std::fprintf(stderr, "loadgen: server error: %s\n",
-                         response.error.c_str());
-            std::exit(1);
+        for (size_t got = 0; got < per_conn;) {
+          net::ServeResponse response;
+          try {
+            response = client.ReadNext();
+          } catch (const net::WireError& e) {
+            // Connection died: everything still outstanding is an error.
+            std::fprintf(stderr, "loadgen: connection lost: %s\n", e.what());
+            errors[c] += per_conn - got;
+            return;
           }
-          // Ids are 1-based send order; charge from the scheduled slot.
+          const Clock::time_point now = Clock::now();
+          size_t i;
+          {
+            std::lock_guard<std::mutex> lock(map_mu);
+            auto it = slot_of.find(response.request_id);
+            if (it == slot_of.end()) continue;  // should not happen
+            i = it->second;
+            slot_of.erase(it);
+          }
+          if (!response.ok) {
+            if (response.code == net::ErrorCode::kDeadlineExceeded) {
+              ++timeouts[c];
+            }
+            if (net::IsRetryable(response.code) &&
+                tries[i] < retry_budget) {
+              try {
+                send_slot(i);
+                ++tries[i];
+                ++retries[c];
+                continue;  // same slot, new id; latency charged from it
+              } catch (const net::WireError&) {
+                // fall through: the re-send found a dead socket
+              }
+            }
+            std::fprintf(stderr, "loadgen: request failed: %s\n",
+                         response.error.c_str());
+            ++errors[c];
+            ++got;
+            continue;
+          }
+          // Charge from the scheduled slot, retries included.
           latencies[c].push_back(
-              std::chrono::duration_cast<nanoseconds>(
-                  now - slot(c, response.request_id - 1))
+              std::chrono::duration_cast<nanoseconds>(now - slot(c, i))
                   .count());
           last_response[c] = now;
+          ++got;
         }
       });
       for (size_t i = 0; i < per_conn; ++i) {
         std::this_thread::sleep_until(slot(c, i));
-        const double q = points[(c * per_conn + i) % points.size()];
-        client.Send(QueryRequest(PointQuery{q, opt}));
+        try {
+          send_slot(i);
+        } catch (const net::WireError&) {
+          break;  // receiver sees the dead socket and accounts the rest
+        }
       }
       receiver.join();
       client.Close();
@@ -150,13 +233,16 @@ SweepPoint RunPoint(uint16_t port, size_t conns, double offered_qps,
   std::vector<int64_t> merged;
   merged.reserve(conns * per_conn);
   Clock::time_point end = start;
+  SweepPoint point;
   for (size_t c = 0; c < conns; ++c) {
     merged.insert(merged.end(), latencies[c].begin(), latencies[c].end());
     end = std::max(end, last_response[c]);
+    point.errors += errors[c];
+    point.timeouts += timeouts[c];
+    point.retries += retries[c];
   }
   std::sort(merged.begin(), merged.end());
 
-  SweepPoint point;
   point.conns = conns;
   point.offered_qps = offered_qps;
   point.requests = merged.size();
@@ -206,8 +292,14 @@ int main() {
   json.Config("hardware_threads",
               static_cast<double>(std::thread::hardware_concurrency()));
 
-  std::printf("%6s %6s %9s %10s %10s %10s %10s\n", "cache", "conns",
-              "offered", "achieved", "p50_us", "p99_us", "p999_us");
+  json.Config("deadline_ms", static_cast<double>(SizeFromEnv(
+                                 "PVERIFY_SERVE_DEADLINE_MS", 0)));
+  json.Config("retry_budget", static_cast<double>(SizeFromEnv(
+                                  "PVERIFY_SERVE_RETRIES", 2)));
+
+  std::printf("%6s %6s %9s %10s %10s %10s %10s %7s %7s %7s\n", "cache",
+              "conns", "offered", "achieved", "p50_us", "p99_us", "p999_us",
+              "errors", "timeout", "retries");
   for (size_t cache : cache_sweep) {
     // One server (and engine) per cache configuration, shared by every
     // (conns × qps) point — exactly how a deployed server would see the
@@ -229,10 +321,12 @@ int main() {
             RunPoint(server.port(), conns, static_cast<double>(offered),
                      duration_ms, points, opt);
         point.cache = cache;
-        std::printf("%6zu %6zu %9.0f %10.1f %10.1f %10.1f %10.1f\n",
+        std::printf("%6zu %6zu %9.0f %10.1f %10.1f %10.1f %10.1f %7zu "
+                    "%7zu %7zu\n",
                     point.cache, point.conns, point.offered_qps,
                     point.achieved_qps, point.p50_us, point.p99_us,
-                    point.p999_us);
+                    point.p999_us, point.errors, point.timeouts,
+                    point.retries);
         json.BeginResult();
         json.Field("mode", "sweep");
         json.Field("cache", static_cast<double>(point.cache));
@@ -240,6 +334,9 @@ int main() {
         json.Field("offered", point.offered_qps);
         json.Field("achieved_qps", point.achieved_qps);
         json.Field("requests", static_cast<double>(point.requests));
+        json.Field("errors", static_cast<double>(point.errors));
+        json.Field("timeouts", static_cast<double>(point.timeouts));
+        json.Field("retries", static_cast<double>(point.retries));
         json.Field("p50_us", point.p50_us);
         json.Field("p99_us", point.p99_us);
         json.Field("p999_us", point.p999_us);

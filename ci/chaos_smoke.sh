@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Chaos smoke test: the full service stack under byte-level fault injection.
+#
+# Starts a real pverify_serve daemon with PVERIFY_FAULTS enabled — every
+# socket transfer in the daemon may be delayed, corrupted, truncated or
+# severed — and runs a pverify_cli batch against it with retries and a
+# per-request deadline. The CLI checks every remote answer against its own
+# sequential baseline, so a zero exit means the retry path recovered from
+# every injected fault AND never surfaced a wrong answer (a corrupted frame
+# that decoded would fail the equivalence check, not just the transport).
+# Then SIGTERM must still drain the daemon cleanly, faults and all.
+#
+# Usage: ci/chaos_smoke.sh <build-dir>
+set -eu
+
+build="${1:?usage: ci/chaos_smoke.sh <build-dir>}"
+build="$(cd "$build" && pwd)"
+work="$(mktemp -d)"
+server_pid=
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# --- dataset: 400 uniform intervals in the CLI's query domain --------------
+awk 'BEGIN {
+  srand(7)
+  for (i = 0; i < 400; ++i) {
+    lo = rand() * 9990
+    printf "%.6f %.6f\n", lo, lo + 0.2 + rand() * 2.0
+  }
+}' > "$work/data.txt"
+
+# --- daemon with fault injection on every socket transfer ------------------
+# The seed makes a failing run replayable; the probabilities are high
+# enough that a 40-request batch reliably sees several faults.
+PVERIFY_FAULTS="seed=7,delay_p=0.02,delay_ms=2,corrupt_p=0.01,truncate_p=0.01,sever_p=0.005" \
+  "$build/pverify_serve" --dataset="$work/data.txt" --threads=2 \
+  --port=0 --port-file="$work/port" --drain-ms=3000 \
+  > "$work/server.log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$work/port" ] && break
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "FAILED: server exited during startup"
+    cat "$work/server.log"
+    exit 1
+  fi
+  sleep 0.1
+done
+port="$(cat "$work/port")"
+if [ -z "$port" ]; then
+  echo "FAILED: server never wrote its port file"
+  cat "$work/server.log"
+  exit 1
+fi
+echo "OK: faulty pverify_serve listening on port $port"
+
+# --- retrying CLI batch must fully recover and answer-check ----------------
+# Generous retry budget: the batch must complete despite severed
+# connections (transparent reconnect) and corrupted frames (checksum
+# rejection + re-send). Any wrong answer fails the CLI's equivalence check.
+"$build/pverify_cli" batch "$work/data.txt" 40 2 \
+  --connect="127.0.0.1:$port" --retries=12 --deadline-ms=5000
+echo "OK: retrying batch recovered from injected faults, answers exact"
+
+# --- SIGTERM must still drain cleanly under faults -------------------------
+kill -TERM "$server_pid"
+status=0
+wait "$server_pid" || status=$?
+server_pid=
+if [ "$status" -ne 0 ]; then
+  echo "FAILED: server exit status $status after SIGTERM"
+  cat "$work/server.log"
+  exit 1
+fi
+echo "OK: daemon drained and shut down cleanly under faults"
+grep -E "drain|served|backpressure" "$work/server.log" || true
+echo "PASSED: chaos smoke"

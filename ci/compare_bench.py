@@ -25,6 +25,11 @@ KEY_FIELDS = ("stage", "pdf", "mode", "engine", "strategy", "candidates",
               "subregions", "pieces", "pdf_pieces", "batch", "threads",
               "shards", "size", "k", "queries", "conns", "cache", "offered")
 
+# Event counters (serve_loadgen's robustness telemetry): reported as
+# absolute deltas, never percentage-gated — a baseline of 0 errors is the
+# common case and relative deltas against 0 are meaningless.
+COUNT_FIELDS = ("errors", "timeouts", "retries", "requests")
+
 
 def row_key(row):
     return tuple((k, row[k]) for k in KEY_FIELDS if k in row)
@@ -72,7 +77,13 @@ def main():
             if field in KEY_FIELDS or not isinstance(bval, (int, float)):
                 continue
             cval = crow.get(field)
-            if not isinstance(cval, (int, float)) or bval == 0:
+            if not isinstance(cval, (int, float)):
+                continue
+            if field in COUNT_FIELDS:
+                if cval != bval:
+                    deltas.append(f"{field} {bval:g} -> {cval:g}")
+                continue
+            if bval == 0:
                 continue
             pct = 100.0 * (cval - bval) / bval
             deltas.append(f"{field} {bval:g} -> {cval:g} ({pct:+.1f}%)")

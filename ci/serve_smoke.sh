@@ -59,8 +59,9 @@ fi
 echo "OK: pverify_serve listening on port $port"
 
 # --- CLI batch over the wire (self-checking against local baseline) --------
+# --retries exercises the RetryingClient path even on a healthy server.
 "$build/pverify_cli" batch "$work/data.txt" 40 2 \
-  --connect="127.0.0.1:$port"
+  --connect="127.0.0.1:$port" --retries=3
 echo "OK: remote batch matches the CLI's sequential baseline"
 
 # --- load generator, twice; diff the artifacts -----------------------------

@@ -5,65 +5,83 @@
 #include <utility>
 
 #include "net/codec.h"
+#include "net/frame.h"
 
 namespace pverify {
 namespace net {
 
-Client Client::Connect(const std::string& host, uint16_t port,
-                       ClientOptions options) {
-  return Client(ConnectTcp(host, port), options);
+namespace {
+
+void EncodeRequestBody(const QueryRequest& request, uint32_t deadline_ms,
+                       WireWriter& body) {
+  RequestExtensions ext;
+  ext.deadline_ms = deadline_ms;
+  EncodeRequestExtensions(ext, body);
+  EncodeRequest(request, body);
 }
 
-uint64_t Client::Send(const QueryRequest& request) {
+}  // namespace
+
+Client Client::Connect(const std::string& host, uint16_t port,
+                       ClientOptions options) {
+  Socket sock = ConnectTcp(host, port);
+  if (options.recv_timeout_ms > 0) {
+    sock.SetRecvTimeoutMs(options.recv_timeout_ms);
+  }
+  return Client(std::move(sock), options);
+}
+
+std::unique_ptr<Client> Client::ConnectUnique(const std::string& host,
+                                              uint16_t port,
+                                              ClientOptions options) {
+  Socket sock = ConnectTcp(host, port);
+  if (options.recv_timeout_ms > 0) {
+    sock.SetRecvTimeoutMs(options.recv_timeout_ms);
+  }
+  return std::unique_ptr<Client>(new Client(std::move(sock), options));
+}
+
+uint64_t Client::Send(const QueryRequest& request, uint32_t deadline_ms) {
   std::lock_guard<std::mutex> lock(send_mu_);
   uint64_t id = next_id_++;
   WireWriter body;
-  EncodeRequest(request, body);
-  uint8_t header[kFrameHeaderBytes];
-  EncodeFrameHeader(MessageType::kRequest, id,
-                    static_cast<uint32_t>(body.size()), header);
-  sock_.WriteAll(header, sizeof(header));
-  sock_.WriteAll(body.bytes().data(), body.size());
+  EncodeRequestBody(request, deadline_ms, body);
+  SendFrameOn(sock_, MessageType::kRequest, id, body);
   return id;
 }
 
-void Client::SendWithId(const QueryRequest& request, uint64_t request_id) {
+void Client::SendWithId(const QueryRequest& request, uint64_t request_id,
+                        uint32_t deadline_ms) {
   std::lock_guard<std::mutex> lock(send_mu_);
   WireWriter body;
-  EncodeRequest(request, body);
-  uint8_t header[kFrameHeaderBytes];
-  EncodeFrameHeader(MessageType::kRequest, request_id,
-                    static_cast<uint32_t>(body.size()), header);
-  sock_.WriteAll(header, sizeof(header));
-  sock_.WriteAll(body.bytes().data(), body.size());
+  EncodeRequestBody(request, deadline_ms, body);
+  SendFrameOn(sock_, MessageType::kRequest, request_id, body);
 }
 
 ServeResponse Client::ReadNext() {
   std::lock_guard<std::mutex> lock(recv_mu_);
-  uint8_t header_bytes[kFrameHeaderBytes];
-  if (!sock_.ReadExact(header_bytes, sizeof(header_bytes))) {
+  ReceivedFrame frame;
+  if (!ReceiveFrame(sock_, options_.max_body_bytes, &frame)) {
     throw WireError("wire: server closed the connection");
   }
-  FrameHeader header =
-      DecodeFrameHeader(header_bytes, options_.max_body_bytes);
-  std::vector<uint8_t> body(header.body_bytes);
-  if (header.body_bytes > 0 && !sock_.ReadExact(body.data(), body.size())) {
-    throw WireError("wire: connection closed before the frame body");
-  }
-  WireReader reader(body.data(), body.size());
+  WireReader reader(frame.body.data(), frame.body.size());
   ServeResponse response;
-  response.request_id = header.request_id;
-  switch (header.type) {
+  response.request_id = frame.header.request_id;
+  switch (frame.header.type) {
     case MessageType::kResponse:
       response.ok = true;
       response.result = DecodeResult(reader);
       reader.ExpectEnd();
       break;
-    case MessageType::kError:
+    case MessageType::kError: {
       response.ok = false;
-      response.error = reader.String(options_.max_body_bytes);
+      DecodedError err = DecodeErrorBody(frame.header.version, reader,
+                                         options_.max_body_bytes);
       reader.ExpectEnd();
+      response.code = err.code;
+      response.error = std::move(err.message);
       break;
+    }
     case MessageType::kRequest:
       throw WireError("wire: unexpected request frame from the server");
   }
@@ -89,10 +107,12 @@ ServeResponse Client::Await(uint64_t request_id) {
 }
 
 std::vector<ServeResponse> Client::Call(
-    const std::vector<QueryRequest>& requests) {
+    const std::vector<QueryRequest>& requests, uint32_t deadline_ms) {
   std::vector<uint64_t> ids;
   ids.reserve(requests.size());
-  for (const QueryRequest& request : requests) ids.push_back(Send(request));
+  for (const QueryRequest& request : requests) {
+    ids.push_back(Send(request, deadline_ms));
+  }
   std::vector<ServeResponse> responses;
   responses.reserve(ids.size());
   for (uint64_t id : ids) responses.push_back(Await(id));

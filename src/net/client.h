@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -26,16 +27,23 @@ namespace pverify {
 namespace net {
 
 /// One server reply. `ok` distinguishes a result from a request-level
-/// error frame (whose message lands in `error`).
+/// error frame (whose typed code and message land in `code`/`error`;
+/// frames from a v1 server always decode as kGeneric).
 struct ServeResponse {
   uint64_t request_id = 0;
   bool ok = false;
+  ErrorCode code = ErrorCode::kGeneric;
   std::string error;
   QueryResult result;
 };
 
 struct ClientOptions {
   uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Bounds every blocking read (SO_RCVTIMEO); a server that stops
+  /// answering surfaces as WireTimeout instead of a hang. 0 = wait
+  /// forever. Retrying callers should set this: it is what makes the
+  /// chaos suite's "never hang" guarantee hold on the client side too.
+  uint32_t recv_timeout_ms = 0;
 };
 
 class Client {
@@ -44,18 +52,28 @@ class Client {
   static Client Connect(const std::string& host, uint16_t port,
                         ClientOptions options = {});
 
+  /// Heap-allocating variant for callers that reconnect (the RetryingClient
+  /// replaces a dead connection in place; Client itself is not movable).
+  static std::unique_ptr<Client> ConnectUnique(const std::string& host,
+                                               uint16_t port,
+                                               ClientOptions options = {});
+
   // Not movable (mutex members); Connect returns by guaranteed elision.
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Encodes and sends one request frame, returning the request id the
   /// response will carry. Does not wait for the response — callers pipeline
-  /// freely. Thread-safe against a concurrent receiver.
-  uint64_t Send(const QueryRequest& request);
+  /// freely. Thread-safe against a concurrent receiver. `deadline_ms` > 0
+  /// rides the v2 extension block: the server answers kDeadlineExceeded
+  /// instead of running a request whose budget (counted from the server
+  /// reading the frame) ran out.
+  uint64_t Send(const QueryRequest& request, uint32_t deadline_ms = 0);
 
   /// Sends a request frame under a caller-chosen id (the tests use this to
   /// probe id echoing; normal callers use Send()).
-  void SendWithId(const QueryRequest& request, uint64_t request_id);
+  void SendWithId(const QueryRequest& request, uint64_t request_id,
+                  uint32_t deadline_ms = 0);
 
   /// Blocks for the next response frame in arrival order. Throws WireError
   /// when the server closes the connection or sends a malformed frame.
@@ -68,7 +86,9 @@ class Client {
 
   /// Pipelines the whole batch, then awaits every response; results come
   /// back in request order. Throws WireError on connection loss.
-  std::vector<ServeResponse> Call(const std::vector<QueryRequest>& requests);
+  /// `deadline_ms` applies per request.
+  std::vector<ServeResponse> Call(const std::vector<QueryRequest>& requests,
+                                  uint32_t deadline_ms = 0);
 
   /// Half-closes the write side so the server sees a clean EOF and winds
   /// the connection down; pending responses can still be read.

@@ -1,0 +1,144 @@
+#include "net/fault.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pverify {
+namespace net {
+
+namespace {
+
+double ParseProb(const std::string& key, const std::string& value) {
+  size_t pos = 0;
+  double p = std::stod(value, &pos);
+  if (pos != value.size() || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("PVERIFY_FAULTS: " + key +
+                                " must be a probability in [0,1], got '" +
+                                value + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+FaultConfig FaultInjector::ParseSpec(const std::string& spec) {
+  FaultConfig config;
+  if (spec.empty() || spec == "0" || spec == "off") return config;
+  config.enabled = true;
+  if (spec == "1" || spec == "on") {
+    // Mild defaults: enough churn to exercise every failure path without
+    // drowning a smoke run in retries.
+    config.delay_p = 0.01;
+    config.corrupt_p = 0.005;
+    config.truncate_p = 0.005;
+    config.sever_p = 0.002;
+    config.delay_ms = 1;
+    return config;
+  }
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string item = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("PVERIFY_FAULTS: expected key=value, got '" +
+                                  item + "'");
+    }
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      config.seed = std::stoull(value);
+    } else if (key == "delay_p") {
+      config.delay_p = ParseProb(key, value);
+    } else if (key == "corrupt_p") {
+      config.corrupt_p = ParseProb(key, value);
+    } else if (key == "truncate_p") {
+      config.truncate_p = ParseProb(key, value);
+    } else if (key == "sever_p") {
+      config.sever_p = ParseProb(key, value);
+    } else if (key == "delay_ms") {
+      config.delay_ms = static_cast<uint32_t>(std::stoul(value));
+    } else {
+      throw std::invalid_argument("PVERIFY_FAULTS: unknown key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* env = std::getenv("PVERIFY_FAULTS")) {
+      injector->Configure(ParseSpec(env));
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  rng_.seed(config.seed);
+  forced_ = FaultKind::kNone;
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = FaultConfig{};
+  forced_ = FaultKind::kNone;
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::ForceOnce(FaultKind kind, size_t at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  forced_ = kind;
+  forced_at_ = at;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+FaultPlan FaultInjector::PlanWrite(size_t n) { return Plan(n, true); }
+
+FaultPlan FaultInjector::PlanRead(size_t n) { return Plan(n, false); }
+
+FaultPlan FaultInjector::Plan(size_t n, bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultPlan plan;
+  if (forced_ != FaultKind::kNone && is_write) {
+    plan.kind = forced_;
+    plan.at = n > 0 ? forced_at_ % n : 0;
+    plan.delay_ms = plan.kind == FaultKind::kDelay ? config_.delay_ms : 0;
+    forced_ = FaultKind::kNone;
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    return plan;
+  }
+  if (!config_.enabled) return plan;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  if (config_.delay_p > 0.0 && uniform(rng_) < config_.delay_p) {
+    plan.delay_ms = config_.delay_ms;
+  }
+  double roll = uniform(rng_);
+  if (roll < config_.sever_p) {
+    plan.kind = FaultKind::kSever;
+  } else if (roll < config_.sever_p + config_.truncate_p) {
+    // A read-side truncation is indistinguishable from a severed peer, so
+    // reads fold it into kSever.
+    plan.kind = is_write ? FaultKind::kTruncate : FaultKind::kSever;
+  } else if (roll < config_.sever_p + config_.truncate_p + config_.corrupt_p) {
+    plan.kind = FaultKind::kCorrupt;
+  }
+  if (plan.kind == FaultKind::kCorrupt || plan.kind == FaultKind::kTruncate) {
+    plan.at = n > 0 ? rng_() % n : 0;
+  }
+  if (plan.kind != FaultKind::kNone || plan.delay_ms > 0) {
+    faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return plan;
+}
+
+}  // namespace net
+}  // namespace pverify

@@ -1,0 +1,102 @@
+// Byte-granular fault injection for the socket layer.
+//
+// The chaos suite's contract is that the serving path never hangs, never
+// crashes and never returns a wrong answer — only clean typed errors — no
+// matter what the network does to it. To test that, every Socket read and
+// write consults the process-global FaultInjector, which can delay the
+// operation, corrupt a byte, truncate the transfer or sever the connection
+// outright, driven by a seeded RNG so a failing run replays exactly.
+//
+// The hook is compiled in unconditionally (the disabled fast path is one
+// relaxed atomic load, so production pays nothing) and enabled two ways:
+//
+//   * the PVERIFY_FAULTS environment variable, parsed once on first use —
+//     "seed=42,delay_p=0.01,delay_ms=2,corrupt_p=0.01,truncate_p=0.005,
+//     sever_p=0.005" (any subset; "1"/"on" picks mild defaults) — which is
+//     how ci/chaos_smoke.sh torments a real daemon; and
+//   * the Configure()/ForceOnce() test API, which chaos_test uses for both
+//     statistical runs and deterministic single-fault scenarios.
+#ifndef PVERIFY_NET_FAULT_H_
+#define PVERIFY_NET_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+
+namespace pverify {
+namespace net {
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kDelay,     ///< sleep delay_ms before the operation
+  kCorrupt,   ///< flip one byte of the transfer
+  kTruncate,  ///< transfer a prefix, then sever (writes only)
+  kSever,     ///< shut the connection down instead of transferring
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 1;
+  double delay_p = 0.0;
+  double corrupt_p = 0.0;
+  double truncate_p = 0.0;
+  double sever_p = 0.0;
+  uint32_t delay_ms = 1;
+};
+
+/// What the injector decided for one socket operation.
+struct FaultPlan {
+  uint32_t delay_ms = 0;           ///< sleep this long first (0 = none)
+  FaultKind kind = FaultKind::kNone;  ///< then apply this fault
+  size_t at = 0;                   ///< byte offset for corrupt/truncate
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide instance every Socket consults. First call loads
+  /// PVERIFY_FAULTS (when set) exactly once.
+  static FaultInjector& Global();
+
+  void Configure(const FaultConfig& config);
+  void Disable();
+
+  /// Queues one deterministic fault for the next write operation, ahead of
+  /// any probabilistic decision. `at` is the byte offset for
+  /// kCorrupt/kTruncate.
+  void ForceOnce(FaultKind kind, size_t at = 0);
+
+  /// Fast path for the disabled case — one relaxed load, no lock.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Decides the fate of one n-byte write / read. Only called when
+  /// enabled().
+  FaultPlan PlanWrite(size_t n);
+  FaultPlan PlanRead(size_t n);
+
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+
+  /// Parses the PVERIFY_FAULTS spec ("key=value,..." or "1"/"on" for mild
+  /// defaults). Throws std::invalid_argument on malformed input.
+  static FaultConfig ParseSpec(const std::string& spec);
+
+ private:
+  FaultPlan Plan(size_t n, bool is_write);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::mutex mu_;
+  FaultConfig config_;
+  std::mt19937_64 rng_;
+  FaultKind forced_ = FaultKind::kNone;
+  size_t forced_at_ = 0;
+};
+
+}  // namespace net
+}  // namespace pverify
+
+#endif  // PVERIFY_NET_FAULT_H_

@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -7,6 +8,8 @@
 
 namespace pverify {
 namespace net {
+
+using Clock = std::chrono::steady_clock;
 
 Server::Server(Engine& engine, ServerOptions options)
     : engine_(engine), options_(options) {}
@@ -17,6 +20,33 @@ void Server::Start() {
   listener_ = Listener::Bind(options_.port, options_.listen_backlog);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   started_ = true;
+}
+
+bool Server::Drain(uint32_t deadline_ms) {
+  if (!started_) return true;
+  draining_.store(true, std::memory_order_release);
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // In-flight work is everything submitted-but-unanswered
+  // (global_pending_) plus queued error frames the writers still owe;
+  // readers reject anything new with kShuttingDown from here on.
+  Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  for (;;) {
+    bool idle = global_pending_.load(std::memory_order_acquire) == 0;
+    if (idle) {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& conn : conns_) {
+        std::lock_guard<std::mutex> conn_lock(conn->mu);
+        if (!conn->queue.empty()) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) return true;
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 }
 
 void Server::Stop() {
@@ -57,26 +87,38 @@ void Server::ReapFinishedLocked() {
 }
 
 void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
+  while (!stopping_.load(std::memory_order_acquire) &&
+         !draining_.load(std::memory_order_acquire)) {
     Socket sock = listener_.Accept();
     if (!sock.valid()) continue;  // shutdown or a racing client; re-check
+    try {
+      if (options_.write_timeout_ms > 0) {
+        sock.SetSendTimeoutMs(options_.write_timeout_ms);
+      }
+      if (options_.send_buffer_bytes > 0) {
+        sock.SetSendBufferBytes(options_.send_buffer_bytes);
+      }
+    } catch (const WireError&) {
+      // Losing the options degrades the slow-reader bound, nothing else.
+    }
     std::lock_guard<std::mutex> lock(conns_mu_);
     ReapFinishedLocked();
     if (conns_.size() >= options_.max_connections) {
       // Over the cap: tell the client why, then hang up. A best-effort
       // write — a peer that already vanished only costs us the syscall.
       WireWriter body;
-      body.String("server connection limit reached");
-      uint8_t header[kFrameHeaderBytes];
-      EncodeFrameHeader(MessageType::kError, 0,
-                        static_cast<uint32_t>(body.size()), header);
+      EncodeErrorBody(kWireVersion, ErrorCode::kOverloaded,
+                      "server connection limit reached", body);
+      {
+        // Count before the write: a client that has read the rejection
+        // frame must already observe the counter.
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.connections_rejected;
+      }
       try {
-        sock.WriteAll(header, sizeof(header));
-        sock.WriteAll(body.bytes().data(), body.size());
+        SendFrameOn(sock, MessageType::kError, 0, body);
       } catch (const WireError&) {
       }
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.connections_rejected;
       continue;
     }
     auto conn = std::make_unique<Connection>();
@@ -90,54 +132,168 @@ void Server::AcceptLoop() {
   }
 }
 
+bool Server::SendOnConn(Connection* conn, MessageType type,
+                        uint64_t request_id, const WireWriter& body) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  try {
+    SendFrameOn(conn->sock, type, request_id, body,
+                conn->peer_version.load(std::memory_order_relaxed));
+    return true;
+  } catch (const WireTimeout&) {
+    // The peer stopped draining its socket: the slow-reader policy cuts it
+    // loose rather than let one stalled connection pin a writer thread and
+    // an unbounded backlog.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.slow_reader_disconnects;
+    }
+    conn->sock.ShutdownBoth();
+    return false;
+  } catch (const WireError&) {
+    conn->sock.ShutdownBoth();
+    return false;
+  }
+}
+
+bool Server::RejectNow(Connection* conn, uint64_t request_id, ErrorCode code,
+                       const std::string& message) {
+  WireWriter body;
+  EncodeErrorBody(conn->peer_version.load(std::memory_order_relaxed), code,
+                  message, body);
+  return SendOnConn(conn, MessageType::kError, request_id, body);
+}
+
+void Server::QueueProtocolError(Connection* conn, uint64_t request_id,
+                                ErrorCode code, const std::string& message) {
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.protocol_errors;
+  }
+  std::lock_guard<std::mutex> lock(conn->mu);
+  if (conn->writer_exited) return;
+  Outgoing out;
+  out.type = MessageType::kError;
+  out.request_id = request_id;
+  out.code = code;
+  out.error = message;
+  out.close_after = true;
+  conn->queue.push_back(std::move(out));
+  conn->cv.notify_one();
+}
+
 void Server::ReaderLoop(Connection* conn) {
-  std::vector<uint8_t> body;
   for (;;) {
-    uint8_t header_bytes[kFrameHeaderBytes];
+    ReceivedFrame frame;
     uint64_t request_id = 0;
     try {
-      if (!conn->sock.ReadExact(header_bytes, sizeof(header_bytes))) {
+      if (!ReceiveFrame(conn->sock, options_.max_body_bytes, &frame)) {
         break;  // clean EOF between frames: client is done
       }
-      FrameHeader header =
-          DecodeFrameHeader(header_bytes, options_.max_body_bytes);
-      request_id = header.request_id;
-      if (header.type != MessageType::kRequest) {
+      request_id = frame.header.request_id;
+      if (frame.header.type != MessageType::kRequest) {
         throw WireError("wire: expected a request frame");
       }
-      body.resize(header.body_bytes);
-      if (header.body_bytes > 0 &&
-          !conn->sock.ReadExact(body.data(), body.size())) {
-        throw WireError("wire: connection closed before the frame body");
-      }
-      WireReader reader(body.data(), body.size());
+      conn->peer_version.store(frame.header.version,
+                               std::memory_order_relaxed);
+      WireReader reader(frame.body.data(), frame.body.size());
+      RequestExtensions ext;
+      if (frame.header.version >= 2) ext = DecodeRequestExtensions(reader);
       QueryRequest request = DecodeRequest(reader);
       reader.ExpectEnd();
-      std::future<QueryResult> future = engine_.Submit(std::move(request));
-      std::lock_guard<std::mutex> lock(conn->mu);
+
+      // Admission control, in rejection-priority order. Every rejection is
+      // sent by this thread directly (the protocol allows out-of-order
+      // frames), so a client whose responses are stuck behind a full
+      // writer queue still hears the backpressure immediately.
+      bool has_deadline = ext.deadline_ms > 0;
+      Clock::time_point deadline =
+          frame.header_at + std::chrono::milliseconds(ext.deadline_ms);
+      if (has_deadline && Clock::now() >= deadline) {
+        // Expired on arrival (or while the body trickled in): answer
+        // without ever running the engine.
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.deadline_expirations;
+        }
+        if (!RejectNow(conn, request_id, ErrorCode::kDeadlineExceeded,
+                       "deadline expired before execution")) {
+          break;
+        }
+        continue;
+      }
+      if (draining_.load(std::memory_order_acquire)) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.shutdown_rejections;
+        }
+        if (!RejectNow(conn, request_id, ErrorCode::kShuttingDown,
+                       "server is draining")) {
+          break;
+        }
+        continue;
+      }
+      if (options_.max_pending > 0 &&
+          global_pending_.load(std::memory_order_acquire) >=
+              options_.max_pending) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.overload_rejections;
+        }
+        if (!RejectNow(conn, request_id, ErrorCode::kOverloaded,
+                       "server admission limit reached")) {
+          break;
+        }
+        continue;
+      }
+      if (options_.max_inflight_per_conn > 0 &&
+          conn->inflight.load(std::memory_order_acquire) >=
+              options_.max_inflight_per_conn) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.overload_rejections;
+        }
+        if (!RejectNow(conn, request_id, ErrorCode::kOverloaded,
+                       "per-connection in-flight limit reached")) {
+          break;
+        }
+        continue;
+      }
+
+      global_pending_.fetch_add(1, std::memory_order_acq_rel);
+      conn->inflight.fetch_add(1, std::memory_order_acq_rel);
       Outgoing out;
       out.type = MessageType::kResponse;
       out.request_id = request_id;
-      out.future = std::move(future);
-      conn->queue.push_back(std::move(out));
-      conn->cv.notify_one();
+      out.has_deadline = has_deadline;
+      out.deadline = deadline;
+      out.future = engine_.Submit(std::move(request));
+      bool writer_gone = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        if (conn->writer_exited) {
+          writer_gone = true;
+        } else {
+          conn->queue.push_back(std::move(out));
+          conn->cv.notify_one();
+        }
+      }
+      if (writer_gone) {
+        conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+        global_pending_.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+    } catch (const WireTooLarge& e) {
+      // Oversized frame: answer kTooLarge (after earlier responses drain),
+      // then close — resynchronizing with an unread multi-megabyte body is
+      // not worth trusting the peer's framing again.
+      QueueProtocolError(conn, request_id, ErrorCode::kTooLarge, e.what());
+      break;
     } catch (const WireError& e) {
       // Malformed frame (or socket error): queue a final error frame and
       // drop the connection once earlier responses have drained. The frame
       // is best effort — if the socket itself died, the writer's send just
       // fails and the teardown path is the same.
-      {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
-        ++stats_.protocol_errors;
-      }
-      std::lock_guard<std::mutex> lock(conn->mu);
-      Outgoing out;
-      out.type = MessageType::kError;
-      out.request_id = request_id;
-      out.error = e.what();
-      out.close_after = true;
-      conn->queue.push_back(std::move(out));
-      conn->cv.notify_one();
+      QueueProtocolError(conn, request_id, ErrorCode::kProtocol, e.what());
       break;
     }
   }
@@ -146,13 +302,59 @@ void Server::ReaderLoop(Connection* conn) {
   conn->cv.notify_all();
 }
 
-void Server::SendFrame(Connection* conn, MessageType type, uint64_t request_id,
-                       const WireWriter& body) {
-  uint8_t header[kFrameHeaderBytes];
-  EncodeFrameHeader(type, request_id, static_cast<uint32_t>(body.size()),
-                    header);
-  conn->sock.WriteAll(header, sizeof(header));
-  if (body.size() > 0) conn->sock.WriteAll(body.bytes().data(), body.size());
+bool Server::DeliverResponse(Connection* conn, Outgoing& out) {
+  // Bounded wait: poll the stop flag so a hard Stop() never deadlocks on
+  // an engine future that will not resolve, and cut over to the deadline
+  // answer the moment the request's budget runs out (queue time counted —
+  // the budget was anchored when the frame header arrived).
+  bool expired = false;
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    std::chrono::milliseconds wait(50);
+    if (out.has_deadline) {
+      Clock::time_point now = Clock::now();
+      if (now >= out.deadline) {
+        expired = true;
+        break;
+      }
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      out.deadline - now) +
+                  std::chrono::milliseconds(1);
+      wait = std::min(wait, left);
+    }
+    if (out.future.wait_for(wait) == std::future_status::ready) break;
+  }
+  uint16_t version = conn->peer_version.load(std::memory_order_relaxed);
+  WireWriter body;
+  MessageType type = MessageType::kResponse;
+  if (expired) {
+    type = MessageType::kError;
+    EncodeErrorBody(version, ErrorCode::kDeadlineExceeded,
+                    "deadline exceeded while queued or executing", body);
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.deadline_expirations;
+  } else {
+    try {
+      // The future resolves even while this connection's peer pipelines
+      // more frames — the reader keeps Submitting concurrently.
+      QueryResult result = out.future.get();
+      EncodeResult(result, body);
+    } catch (const std::exception& e) {
+      // Request-level failure (engine rejected the query): report it on
+      // this request id and keep the connection alive.
+      type = MessageType::kError;
+      body.Clear();
+      EncodeErrorBody(version, ErrorCode::kInvalidRequest, e.what(), body);
+    }
+  }
+  if (!SendOnConn(conn, type, out.request_id, body)) return false;
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  if (type == MessageType::kResponse) {
+    ++stats_.requests_served;
+  } else if (!expired) {
+    ++stats_.request_errors;
+  }
+  return true;
 }
 
 void Server::WriterLoop(Connection* conn) {
@@ -169,34 +371,31 @@ void Server::WriterLoop(Connection* conn) {
       conn->queue.pop_front();
     }
     close = out.close_after;
-    WireWriter body;
-    MessageType type = out.type;
-    if (type == MessageType::kResponse) {
-      try {
-        // The future resolves even while this connection's peer pipelines
-        // more frames — the reader keeps Submitting concurrently.
-        QueryResult result = out.future.get();
-        EncodeResult(result, body);
-      } catch (const std::exception& e) {
-        // Request-level failure (engine rejected the query): report it on
-        // this request id and keep the connection alive.
-        type = MessageType::kError;
-        body.Clear();
-        body.String(e.what());
-      }
+    if (out.type == MessageType::kResponse) {
+      bool sent = DeliverResponse(conn, out);
+      conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      global_pending_.fetch_sub(1, std::memory_order_acq_rel);
+      if (!sent) break;
     } else {
-      body.String(out.error);
+      WireWriter body;
+      EncodeErrorBody(conn->peer_version.load(std::memory_order_relaxed),
+                      out.code, out.error, body);
+      if (!SendOnConn(conn, MessageType::kError, out.request_id, body)) break;
     }
-    try {
-      SendFrame(conn, type, out.request_id, body);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      if (type == MessageType::kResponse) {
-        ++stats_.requests_served;
-      } else if (!out.close_after) {  // protocol errors have their own count
-        ++stats_.request_errors;
-      }
-    } catch (const WireError&) {
-      break;  // peer went away; drain by exiting
+  }
+  // Account for anything still queued (and stop the reader from queueing
+  // more) so Drain's pending gauge cannot leak entries this writer will
+  // never send.
+  std::deque<Outgoing> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->writer_exited = true;
+    leftovers.swap(conn->queue);
+  }
+  for (const Outgoing& left : leftovers) {
+    if (left.type == MessageType::kResponse) {
+      conn->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      global_pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
   // Unblock the reader if it is still parked in recv, then let the accept

@@ -8,7 +8,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/fault.h"
 
 namespace pverify {
 namespace net {
@@ -16,6 +21,11 @@ namespace net {
 namespace {
 
 [[noreturn]] void ThrowErrno(const std::string& what) {
+  if (errno == EAGAIN || errno == EWOULDBLOCK) {
+    // Only surfaces when the caller armed SO_SNDTIMEO/SO_RCVTIMEO: the
+    // socket is blocking, so EAGAIN means the timeout fired.
+    throw WireTimeout(what + ": timed out");
+  }
   throw WireError(what + ": " + std::strerror(errno));
 }
 
@@ -25,6 +35,26 @@ void SetNoDelay(int fd) {
   // the load generator measures.
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+#ifdef SO_NOSIGPIPE
+  // BSD/macOS: belt on top of the per-send MSG_NOSIGNAL braces (which
+  // those platforms lack).
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+}
+
+#ifndef MSG_NOSIGNAL
+// Platforms with SO_NOSIGPIPE instead of the per-call flag.
+#define MSG_NOSIGNAL 0
+#endif
+
+void SetTimeoutOpt(int fd, int opt, uint32_t timeout_ms,
+                   const char* what) {
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<long>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv)) < 0) {
+    ThrowErrno(what);
+  }
 }
 
 }  // namespace
@@ -51,6 +81,41 @@ void Socket::ShutdownBoth() {
 
 void Socket::WriteAll(const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
+  std::vector<uint8_t> mangled;  // only allocated when a fault corrupts
+  FaultInjector& faults = FaultInjector::Global();
+  if (faults.enabled() && n > 0) {
+    FaultPlan plan = faults.PlanWrite(n);
+    if (plan.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+    }
+    switch (plan.kind) {
+      case FaultKind::kNone:
+      case FaultKind::kDelay:
+        break;
+      case FaultKind::kCorrupt:
+        mangled.assign(p, p + n);
+        mangled[plan.at] ^= 0x80;
+        p = mangled.data();
+        break;
+      case FaultKind::kTruncate: {
+        // Deliver a prefix so the peer sees a frame cut off mid-flight,
+        // then kill the connection from this side.
+        size_t prefix = plan.at;
+        const uint8_t* q = static_cast<const uint8_t*>(data);
+        while (prefix > 0) {
+          ssize_t written = ::send(fd_, q, prefix, MSG_NOSIGNAL);
+          if (written <= 0) break;
+          q += written;
+          prefix -= static_cast<size_t>(written);
+        }
+        ShutdownBoth();
+        throw WireError("fault injection: write truncated");
+      }
+      case FaultKind::kSever:
+        ShutdownBoth();
+        throw WireError("fault injection: connection severed");
+    }
+  }
   while (n > 0) {
     ssize_t written = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (written < 0) {
@@ -65,6 +130,19 @@ void Socket::WriteAll(const void* data, size_t n) {
 
 bool Socket::ReadExact(void* data, size_t n) {
   uint8_t* p = static_cast<uint8_t*>(data);
+  FaultPlan plan;
+  FaultInjector& faults = FaultInjector::Global();
+  if (faults.enabled() && n > 0) {
+    plan = faults.PlanRead(n);
+    if (plan.delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+    }
+    if (plan.kind == FaultKind::kSever ||
+        plan.kind == FaultKind::kTruncate) {
+      ShutdownBoth();
+      throw WireError("fault injection: connection severed");
+    }
+  }
   size_t got = 0;
   while (got < n) {
     ssize_t r = ::recv(fd_, p + got, n - got, 0);
@@ -78,10 +156,26 @@ bool Socket::ReadExact(void* data, size_t n) {
     }
     got += static_cast<size_t>(r);
   }
+  if (plan.kind == FaultKind::kCorrupt) p[plan.at] ^= 0x80;
   return true;
 }
 
-Socket ConnectTcp(const std::string& host, uint16_t port) {
+void Socket::SetSendTimeoutMs(uint32_t timeout_ms) {
+  SetTimeoutOpt(fd_, SO_SNDTIMEO, timeout_ms, "set send timeout");
+}
+
+void Socket::SetRecvTimeoutMs(uint32_t timeout_ms) {
+  SetTimeoutOpt(fd_, SO_RCVTIMEO, timeout_ms, "set recv timeout");
+}
+
+void Socket::SetSendBufferBytes(int bytes) {
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
+    ThrowErrno("set send buffer");
+  }
+}
+
+Socket ConnectTcp(const std::string& host, uint16_t port,
+                  int recv_buffer_bytes) {
   struct addrinfo hints;
   std::memset(&hints, 0, sizeof(hints));
   hints.ai_family = AF_UNSPEC;
@@ -99,6 +193,11 @@ Socket ConnectTcp(const std::string& host, uint16_t port) {
     if (fd < 0) {
       saved_errno = errno;
       continue;
+    }
+    if (recv_buffer_bytes > 0) {
+      // Must land before connect() so the negotiated TCP window honors it.
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+                   sizeof(recv_buffer_bytes));
     }
     if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
     saved_errno = errno;

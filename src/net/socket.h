@@ -2,8 +2,13 @@
 // client library. Blocking I/O only: the serving model is
 // thread-per-connection (see net/server.h for why), so nothing here needs
 // readiness notification. All failures throw net::WireError with errno
-// context; SIGPIPE is avoided via MSG_NOSIGNAL rather than a global signal
-// disposition.
+// context; SIGPIPE is avoided via MSG_NOSIGNAL on every send (plus
+// SO_NOSIGPIPE where the platform has it) rather than a global signal
+// disposition. Optional per-socket send/receive timeouts (SO_SNDTIMEO /
+// SO_RCVTIMEO) surface as net::WireTimeout — the server's slow-reader
+// policy and the client's bounded reads are built on them. Every transfer
+// consults the process-global FaultInjector (net/fault.h); with faults
+// disabled that costs one relaxed atomic load.
 #ifndef PVERIFY_NET_SOCKET_H_
 #define PVERIFY_NET_SOCKET_H_
 
@@ -37,20 +42,37 @@ class Socket {
   /// racing the close of the descriptor itself.
   void ShutdownBoth();
 
-  /// Writes all n bytes; throws WireError on any error or peer reset.
+  /// Writes all n bytes; throws WireError on any error or peer reset, and
+  /// WireTimeout when a send timeout is configured and the peer stops
+  /// draining (the slow-reader signal).
   void WriteAll(const void* data, size_t n);
 
   /// Reads exactly n bytes. Returns false on EOF before the first byte (a
   /// clean peer close between frames); throws WireError on EOF mid-buffer
-  /// (a truncated frame) or any socket error.
+  /// (a truncated frame) or any socket error, and WireTimeout when a
+  /// receive timeout is configured and expires.
   bool ReadExact(void* data, size_t n);
+
+  /// Bounds how long one send may block on a full socket buffer
+  /// (SO_SNDTIMEO); 0 disables. A blocked send past the timeout throws
+  /// WireTimeout from WriteAll.
+  void SetSendTimeoutMs(uint32_t timeout_ms);
+  /// Bounds how long one recv may block waiting for bytes (SO_RCVTIMEO);
+  /// 0 disables.
+  void SetRecvTimeoutMs(uint32_t timeout_ms);
+  /// Shrinks/grows the kernel send buffer (SO_SNDBUF) — with the send
+  /// timeout this bounds how much a slow reader can buffer server-side.
+  void SetSendBufferBytes(int bytes);
 
  private:
   int fd_ = -1;
 };
 
 /// Connects to host:port (numeric IP or name). Throws WireError on failure.
-Socket ConnectTcp(const std::string& host, uint16_t port);
+/// `recv_buffer_bytes` > 0 shrinks SO_RCVBUF before connecting (before the
+/// TCP window is negotiated) — the tests use it to simulate slow readers.
+Socket ConnectTcp(const std::string& host, uint16_t port,
+                  int recv_buffer_bytes = 0);
 
 /// A listening TCP socket bound to the loopback-reachable wildcard address.
 class Listener {

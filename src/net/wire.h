@@ -11,6 +11,16 @@
 //        8     8  request_id client-chosen tag echoed in the response
 //       16     4  body_bytes bytes following the header
 //
+// Version 2 frames append a 4-byte CRC-32 trailer computed over the header
+// and body, so a corrupted byte anywhere in the frame is detected at the
+// receiver as a protocol error instead of decoding into a wrong answer.
+// Version 2 request bodies additionally open with an extension block
+// ([u32 ext_bytes][u32 deadline_ms][unknown trailing extension bytes are
+// skipped]) ahead of the encoded request, which is how per-request
+// deadlines travel without breaking version 1 peers: both frame layouts
+// are accepted on decode (kMinWireVersion..kWireVersion) and the server
+// answers each connection in the version its client speaks.
+//
 // All integers are little-endian; doubles travel as their raw IEEE-754
 // bits, so a decoded request re-executes with bit-identical arithmetic and
 // a decoded result compares bit-identical to the local answer. Frames are
@@ -46,9 +56,33 @@ class WireError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A socket operation exceeded its configured timeout (SO_SNDTIMEO /
+/// SO_RCVTIMEO). The server's slow-reader policy and the client's bounded
+/// reads both key off this subtype to tell "peer is too slow" apart from
+/// "peer is gone".
+class WireTimeout : public WireError {
+ public:
+  using WireError::WireError;
+};
+
+/// A frame announced a body larger than the receiver's cap. Split out so
+/// the server can answer with ErrorCode::kTooLarge instead of a generic
+/// protocol error before closing.
+class WireTooLarge : public WireError {
+ public:
+  using WireError::WireError;
+};
+
 inline constexpr uint32_t kWireMagic = 0x50564659;  // "PVFY"
-inline constexpr uint16_t kWireVersion = 1;
+/// Current protocol version: v2 adds the CRC-32 frame trailer, the
+/// request-body extension block (deadline_ms) and typed error codes.
+inline constexpr uint16_t kWireVersion = 2;
+/// Oldest version still accepted on decode. v1 frames have no trailer, no
+/// extension block and string-only error bodies.
+inline constexpr uint16_t kMinWireVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 20;
+/// Bytes of CRC-32 trailer on a version ≥ 2 frame.
+inline constexpr size_t kFrameChecksumBytes = 4;
 /// Default cap on a frame body. Large enough for any realistic result
 /// (ids + per-candidate bounds + k-NN answer); small enough that a hostile
 /// length field cannot make the peer allocate unbounded memory.
@@ -58,9 +92,36 @@ inline constexpr uint32_t kDefaultMaxBodyBytes = 1u << 20;
 enum class MessageType : uint16_t {
   kRequest = 1,   ///< client → server: one encoded QueryRequest
   kResponse = 2,  ///< server → client: the encoded QueryResult
-  kError = 3,     ///< server → client: UTF-8 message; request-level errors
-                  ///< keep the connection, protocol errors close it
+  kError = 3,     ///< server → client: typed code + UTF-8 message;
+                  ///< request-level errors keep the connection, protocol
+                  ///< errors close it
 };
+
+/// Typed failure classes carried in version ≥ 2 error frames (u16 ahead of
+/// the message string). Values are wire-stable; add new codes at the end.
+/// Version 1 error bodies carry only the string and decode as kGeneric.
+enum class ErrorCode : uint16_t {
+  kGeneric = 0,           ///< unclassified failure (also every v1 error)
+  kProtocol = 1,          ///< malformed frame; the connection is closing
+  kInvalidRequest = 2,    ///< engine rejected the request; connection lives
+  kOverloaded = 3,        ///< admission/in-flight/connection cap hit; back
+                          ///< off and retry
+  kDeadlineExceeded = 4,  ///< the request's deadline_ms expired (checked at
+                          ///< receipt and again at dequeue)
+  kTooLarge = 5,          ///< frame body over the receiver's cap
+  kShuttingDown = 6,      ///< server is draining; retry against a replica
+};
+
+/// Stable lower-case token for logs and stats lines.
+const char* ErrorCodeName(ErrorCode code);
+
+/// Codes a client may safely retry for idempotent requests (pverify queries
+/// are pure reads): the server either never ran the request (kOverloaded,
+/// kShuttingDown) or abandoned it on a deadline the client chose.
+inline bool IsRetryable(ErrorCode code) {
+  return code == ErrorCode::kOverloaded || code == ErrorCode::kShuttingDown ||
+         code == ErrorCode::kDeadlineExceeded;
+}
 
 struct FrameHeader {
   uint16_t version = kWireVersion;
@@ -143,6 +204,13 @@ class WireReader {
     return s;
   }
 
+  /// Skips k bytes (bounds-checked) — how unknown trailing extension bytes
+  /// from a newer peer are passed over without understanding them.
+  void Skip(size_t k) {
+    Need(k);
+    pos_ += k;
+  }
+
   size_t Remaining() const { return n_ - pos_; }
   bool AtEnd() const { return pos_ == n_; }
   /// Codecs call this after the last field: trailing bytes mean the peer
@@ -171,13 +239,50 @@ class WireReader {
   size_t pos_ = 0;
 };
 
-/// Serializes a frame header into `out[kFrameHeaderBytes]`.
+/// Serializes a frame header into `out[kFrameHeaderBytes]`. `version`
+/// selects the layout the rest of the frame follows (v1 peers get v1
+/// frames back).
 void EncodeFrameHeader(MessageType type, uint64_t request_id,
-                       uint32_t body_bytes, uint8_t* out);
+                       uint32_t body_bytes, uint8_t* out,
+                       uint16_t version = kWireVersion);
 
-/// Parses and validates a frame header: magic, version, known type, body
-/// length within `max_body_bytes`. Throws WireError on any violation.
+/// Parses and validates a frame header: magic, a version in
+/// kMinWireVersion..kWireVersion, known type, body length within
+/// `max_body_bytes` (violations of the cap throw WireTooLarge, everything
+/// else plain WireError).
 FrameHeader DecodeFrameHeader(const uint8_t* in, uint32_t max_body_bytes);
+
+/// Incremental IEEE CRC-32 (the trailer on version ≥ 2 frames). Chain
+/// calls by passing the previous return value as `crc` (start at 0).
+uint32_t Crc32(const void* data, size_t n, uint32_t crc = 0);
+
+/// Per-request metadata carried in the version ≥ 2 extension block at the
+/// head of a request body. All fields default to "absent".
+struct RequestExtensions {
+  uint32_t deadline_ms = 0;  ///< 0 = no deadline; else budget from the
+                             ///< moment the server read the frame header
+};
+
+/// Appends the extension block: [u32 ext_bytes][u32 deadline_ms].
+void EncodeRequestExtensions(const RequestExtensions& ext, WireWriter& out);
+
+/// Reads the extension block, skipping trailing extension bytes a newer
+/// peer may have appended. Throws WireError when ext_bytes overruns the
+/// body or is implausibly large.
+RequestExtensions DecodeRequestExtensions(WireReader& in);
+
+/// One decoded error-frame body.
+struct DecodedError {
+  ErrorCode code = ErrorCode::kGeneric;
+  std::string message;
+};
+
+/// Error-frame body: v2 is [u16 code][string message]; v1 is the bare
+/// string (decoded as kGeneric). Unknown future codes decode verbatim.
+void EncodeErrorBody(uint16_t version, ErrorCode code, std::string_view message,
+                     WireWriter& out);
+DecodedError DecodeErrorBody(uint16_t version, WireReader& in,
+                             uint32_t max_message_bytes);
 
 }  // namespace net
 }  // namespace pverify

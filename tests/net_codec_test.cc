@@ -405,6 +405,95 @@ TEST(NetCodecTest, SpecialDoublesRoundTrip) {
   }
 }
 
+// ------------------------------------------------------ version 2 layers
+
+TEST(NetChecksumTest, Crc32MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check vector.
+  const char kNine[] = "123456789";
+  EXPECT_EQ(Crc32(kNine, 9), 0xCBF43926u);
+  // Chaining across splits equals one pass over the whole buffer.
+  uint32_t chained = Crc32(kNine, 4);
+  chained = Crc32(kNine + 4, 5, chained);
+  EXPECT_EQ(chained, 0xCBF43926u);
+  // Empty input is the identity.
+  EXPECT_EQ(Crc32(kNine, 0), 0u);
+}
+
+TEST(NetExtensionsTest, DeadlineRoundTrips) {
+  RequestExtensions ext;
+  ext.deadline_ms = 1234;
+  WireWriter w;
+  EncodeRequestExtensions(ext, w);
+  WireReader r(w.bytes().data(), w.size());
+  EXPECT_EQ(DecodeRequestExtensions(r).deadline_ms, 1234u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(NetExtensionsTest, UnknownTrailingExtensionBytesAreSkipped) {
+  // A future peer appends fields we do not know: ext_bytes covers them and
+  // the decoder must step over without choking — and still leave the
+  // request payload readable.
+  WireWriter w;
+  w.U32(12);    // ext_bytes: deadline + 8 unknown bytes
+  w.U32(77);    // deadline_ms
+  w.U64(0xDEADBEEFCAFEF00Dull);  // unknown extension payload
+  w.U32(4242);  // first field of the request body proper
+  WireReader r(w.bytes().data(), w.size());
+  EXPECT_EQ(DecodeRequestExtensions(r).deadline_ms, 77u);
+  EXPECT_EQ(r.U32(), 4242u);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(NetExtensionsTest, OverrunningExtensionBlockIsRejected) {
+  WireWriter w;
+  w.U32(64);  // claims 64 extension bytes ...
+  w.U32(5);   // ... but only 4 follow
+  WireReader r(w.bytes().data(), w.size());
+  EXPECT_THROW(DecodeRequestExtensions(r), WireError);
+}
+
+TEST(NetErrorBodyTest, TypedCodeRoundTripsInVersion2) {
+  for (ErrorCode code :
+       {ErrorCode::kGeneric, ErrorCode::kOverloaded,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kTooLarge,
+        ErrorCode::kShuttingDown}) {
+    WireWriter w;
+    EncodeErrorBody(2, code, "something happened", w);
+    WireReader r(w.bytes().data(), w.size());
+    DecodedError err = DecodeErrorBody(2, r, kDefaultMaxBodyBytes);
+    EXPECT_EQ(err.code, code);
+    EXPECT_EQ(err.message, "something happened");
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(NetErrorBodyTest, Version1BodiesAreStringOnlyAndDecodeGeneric) {
+  WireWriter w;
+  EncodeErrorBody(1, ErrorCode::kOverloaded, "v1 peers see only this", w);
+  // v1 layout: a bare string — no leading code halfword.
+  WireReader raw(w.bytes().data(), w.size());
+  EXPECT_EQ(raw.String(kDefaultMaxBodyBytes), "v1 peers see only this");
+
+  WireReader r(w.bytes().data(), w.size());
+  DecodedError err = DecodeErrorBody(1, r, kDefaultMaxBodyBytes);
+  EXPECT_EQ(err.code, ErrorCode::kGeneric);
+  EXPECT_EQ(err.message, "v1 peers see only this");
+}
+
+TEST(NetFrameTest, HeaderCarriesTheRequestedVersion) {
+  uint8_t buf[kFrameHeaderBytes];
+  EncodeFrameHeader(MessageType::kResponse, 9, 100, buf, /*version=*/1);
+  FrameHeader header = DecodeFrameHeader(buf, kDefaultMaxBodyBytes);
+  EXPECT_EQ(header.version, 1u);
+  EXPECT_EQ(header.type, MessageType::kResponse);
+  EXPECT_EQ(header.request_id, 9u);
+  EXPECT_EQ(header.body_bytes, 100u);
+
+  EncodeFrameHeader(MessageType::kResponse, 9, 100, buf);  // default = v2
+  EXPECT_EQ(DecodeFrameHeader(buf, kDefaultMaxBodyBytes).version,
+            kWireVersion);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace pverify

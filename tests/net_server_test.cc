@@ -18,6 +18,7 @@
 #include "engine/caching_engine.h"
 #include "engine/query_engine.h"
 #include "net/client.h"
+#include "net/frame.h"
 #include "net/server.h"
 
 namespace pverify {
@@ -236,13 +237,14 @@ TEST(NetServerTest, MalformedFrameDropsOnlyThatConnection) {
       garbage[i] = static_cast<uint8_t>(0xa5);
     }
     raw.WriteAll(garbage, sizeof(garbage));
-    uint8_t header[net::kFrameHeaderBytes];
-    ASSERT_TRUE(raw.ReadExact(header, sizeof(header)));
-    net::FrameHeader h =
-        net::DecodeFrameHeader(header, net::kDefaultMaxBodyBytes);
-    EXPECT_EQ(h.type, net::MessageType::kError);
-    std::vector<uint8_t> body(h.body_bytes);
-    ASSERT_TRUE(raw.ReadExact(body.data(), body.size()));
+    net::ReceivedFrame frame;
+    ASSERT_TRUE(
+        net::ReceiveFrame(raw, net::kDefaultMaxBodyBytes, &frame));
+    EXPECT_EQ(frame.header.type, net::MessageType::kError);
+    net::WireReader reader(frame.body.data(), frame.body.size());
+    net::DecodedError err = net::DecodeErrorBody(
+        frame.header.version, reader, net::kDefaultMaxBodyBytes);
+    EXPECT_EQ(err.code, net::ErrorCode::kProtocol);
     // After the error frame the server closes: the next read is EOF.
     uint8_t byte;
     EXPECT_FALSE(raw.ReadExact(&byte, 1));
@@ -279,6 +281,8 @@ TEST(NetServerTest, ConnectionCapRejectsPolitely) {
   net::Client second = net::Client::Connect(kLoopback, server.port());
   net::ServeResponse rejection = second.ReadNext();
   EXPECT_FALSE(rejection.ok);
+  // The rejection is a typed error the client can branch on, not an EOF.
+  EXPECT_EQ(rejection.code, net::ErrorCode::kOverloaded);
   EXPECT_NE(rejection.error.find("connection limit"), std::string::npos)
       << rejection.error;
   EXPECT_EQ(server.stats().connections_rejected, 1u);

@@ -1,0 +1,157 @@
+// Unit tests for the Socket layer's failure discipline, on AF_UNIX
+// socketpairs (no network, no server): writing into a closed peer throws
+// WireError instead of killing the process with SIGPIPE, partial writes
+// and EINTR are retried until the full buffer moved, and the configured
+// send/receive timeouts surface as WireTimeout.
+#include <pthread.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace pverify {
+namespace {
+
+void MakePair(net::Socket* a, net::Socket* b) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  *a = net::Socket(fds[0]);
+  *b = net::Socket(fds[1]);
+}
+
+std::vector<uint8_t> Pattern(size_t n) {
+  std::vector<uint8_t> buf(n);
+  for (size_t i = 0; i < n; ++i) {
+    buf[i] = static_cast<uint8_t>(i * 31 + 7);
+  }
+  return buf;
+}
+
+TEST(NetSocketTest, WriteToClosedPeerThrowsInsteadOfSigpipe) {
+  net::Socket a, b;
+  MakePair(&a, &b);
+  b.Close();
+
+  // Without MSG_NOSIGNAL the second write would raise SIGPIPE and kill the
+  // process — reaching the EXPECT at all is the point of this test.
+  std::vector<uint8_t> buf(64 * 1024, 0xAB);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 64; ++i) a.WriteAll(buf.data(), buf.size());
+      },
+      net::WireError);
+}
+
+TEST(NetSocketTest, ReadFromClosedPeerIsCleanEofThenError) {
+  net::Socket a, b;
+  MakePair(&a, &b);
+  const std::vector<uint8_t> sent = Pattern(128);
+  a.WriteAll(sent.data(), sent.size());
+  a.Close();
+
+  // Buffered bytes still arrive intact, then EOF-before-first-byte reports
+  // false (a clean close between frames), not an exception.
+  std::vector<uint8_t> got(sent.size());
+  ASSERT_TRUE(b.ReadExact(got.data(), got.size()));
+  EXPECT_EQ(got, sent);
+  uint8_t byte = 0;
+  EXPECT_FALSE(b.ReadExact(&byte, 1));
+}
+
+TEST(NetSocketTest, EofMidBufferIsAnError) {
+  net::Socket a, b;
+  MakePair(&a, &b);
+  const std::vector<uint8_t> sent = Pattern(100);
+  a.WriteAll(sent.data(), sent.size());
+  a.Close();
+
+  // Asking for more than the peer sent before closing is a truncated
+  // frame — an error, not a quiet partial read.
+  std::vector<uint8_t> got(200);
+  EXPECT_THROW(b.ReadExact(got.data(), got.size()), net::WireError);
+}
+
+// A do-nothing handler installed WITHOUT SA_RESTART, so a signal landing
+// mid-send/recv makes the syscall fail with EINTR instead of resuming
+// transparently — the retry loops in WriteAll/ReadExact must absorb it.
+void NoopHandler(int) {}
+
+TEST(NetSocketTest, PartialWritesAndEintrStillDeliverEveryByte) {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = NoopHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old;
+  ASSERT_EQ(0, ::sigaction(SIGUSR1, &sa, &old));
+
+  net::Socket a, b;
+  MakePair(&a, &b);
+  a.SetSendBufferBytes(4096);  // force many partial writes
+
+  const std::vector<uint8_t> sent = Pattern(1 << 20);
+  std::vector<uint8_t> got(sent.size());
+  std::thread reader([&] {
+    // Drain in small chunks so the writer keeps hitting a full buffer.
+    size_t off = 0;
+    while (off < got.size()) {
+      size_t chunk = std::min<size_t>(4096, got.size() - off);
+      ASSERT_TRUE(b.ReadExact(got.data() + off, chunk));
+      off += chunk;
+    }
+  });
+
+  const pthread_t writer_tid = pthread_self();
+  std::atomic<bool> done{false};
+  std::thread interrupter([&] {
+    while (!done.load()) {
+      pthread_kill(writer_tid, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  a.WriteAll(sent.data(), sent.size());  // one call, many EINTRs
+  done.store(true);
+  interrupter.join();
+  reader.join();
+  EXPECT_EQ(got, sent);
+  ASSERT_EQ(0, ::sigaction(SIGUSR1, &old, nullptr));
+}
+
+TEST(NetSocketTest, RecvTimeoutSurfacesAsWireTimeout) {
+  net::Socket a, b;
+  MakePair(&a, &b);
+  b.SetRecvTimeoutMs(100);
+
+  uint8_t byte = 0;
+  EXPECT_THROW(b.ReadExact(&byte, 1), net::WireTimeout);
+}
+
+TEST(NetSocketTest, SendTimeoutOnStalledPeerSurfacesAsWireTimeout) {
+  net::Socket a, b;
+  MakePair(&a, &b);
+  a.SetSendBufferBytes(4096);
+  a.SetSendTimeoutMs(100);
+
+  // Nobody reads from b: the buffers fill and the blocked send must give
+  // up after ~100 ms with the typed timeout, not hang.
+  std::vector<uint8_t> buf(64 * 1024, 0xCD);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1024; ++i) a.WriteAll(buf.data(), buf.size());
+      },
+      net::WireTimeout);
+}
+
+}  // namespace
+}  // namespace pverify

@@ -28,6 +28,14 @@
 //                      still runs as the baseline/equivalence check. The
 //                      engine-shape flags (--shards/--async/--pool/
 //                      --cache) belong to the server in this mode.
+//   --retries=N        (--connect only) total attempts per request through
+//                      net::RetryingClient — reconnects and retries
+//                      kOverloaded/kShuttingDown/timeout answers with
+//                      exponential backoff (default 3; 1 = never retry)
+//   --deadline-ms=N    (--connect only) per-request deadline stamped on
+//                      each frame; the server answers kDeadlineExceeded
+//                      instead of running an expired request (default 0 =
+//                      no deadline)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +57,7 @@
 #include "engine/query_engine.h"
 #include "engine/sharded_engine.h"
 #include "net/client.h"
+#include "net/retry.h"
 
 using namespace pverify;
 
@@ -67,7 +76,8 @@ int Usage() {
       "[tolerance]\n"
       "               [--shards=N] [--policy=hash|range] [--async] "
       "[--dim=2] [--pool=steal|queue]\n"
-      "               [--cache=N] [--connect=host:port]\n"
+      "               [--cache=N] [--connect=host:port] [--retries=N] "
+      "[--deadline-ms=N]\n"
       "               (--dim=2 reads <dataset> as a synthetic 2-D object "
       "count;\n"
       "                --cache=N memoizes up to N results and replays the "
@@ -85,6 +95,8 @@ struct BatchFlags {
   bool pool_set = false;
   size_t cache = 0;  ///< 0 = no caching tier; N = CachingEngine capacity
   std::string connect;  ///< "host:port" = remote batch via pverify_serve
+  int retries = 3;      ///< --connect: attempts per request (1 = no retry)
+  uint32_t deadline_ms = 0;  ///< --connect: per-request deadline (0 = none)
 };
 
 double ParseDouble(const char* s) {
@@ -292,8 +304,17 @@ int RunRemoteBatch(const bench::ThroughputPoint& seq,
     return 2;
   }
 
-  net::Client client =
-      net::Client::Connect(host, static_cast<uint16_t>(port));
+  // A bounded recv timeout keeps a stalled/faulty server from hanging the
+  // CLI: with a deadline we know how long an answer can legitimately take;
+  // without one, fall back to a generous fixed bound.
+  net::ClientOptions copt;
+  copt.recv_timeout_ms = flags.deadline_ms > 0
+                             ? flags.deadline_ms * 2 + 2000
+                             : 30000;
+  net::RetryPolicy policy;
+  policy.max_attempts = flags.retries;
+  net::RetryingClient client(host, static_cast<uint16_t>(port), copt,
+                             policy);
   std::vector<QueryRequest> requests;
   requests.reserve(points.size());
   for (Point q : points) {
@@ -302,26 +323,31 @@ int RunRemoteBatch(const bench::ThroughputPoint& seq,
   bench::ThroughputPoint remote;
   remote.queries = points.size();
   Timer wall;
-  std::vector<net::ServeResponse> responses = client.Call(requests);
+  std::vector<net::ServeResponse> responses =
+      client.Call(requests, flags.deadline_ms);
   remote.wall_ms = wall.ElapsedMs();
-  client.Close();
 
   EngineStats stats;
   for (const net::ServeResponse& r : responses) {
     if (!r.ok) {
-      std::fprintf(stderr, "error: server rejected request %llu: %s\n",
-                   static_cast<unsigned long long>(r.request_id),
-                   r.error.c_str());
+      std::fprintf(stderr, "error: request failed after %d attempt(s): %s\n",
+                   flags.retries, r.error.c_str());
       return 1;
     }
     remote.answers += r.result.ids.size();
     AccumulateBatchResult(r.result.stats, &stats);
   }
   stats.wall_ms = remote.wall_ms;
+  const net::ClientStats& cstats = client.stats();
   std::printf("# remote: %s (%zu pipelined requests", flags.connect.c_str(),
               responses.size());
   if (stats.cache.hits > 0) {
     std::printf(", %zu served from the server cache", stats.cache.hits);
+  }
+  if (cstats.retries > 0 || cstats.reconnects > 0) {
+    std::printf(", %llu retries, %llu reconnects",
+                static_cast<unsigned long long>(cstats.retries),
+                static_cast<unsigned long long>(cstats.reconnects));
   }
   std::printf(")\n");
   return ReportBatch(seq, remote, stats, SubmitQueueStats{}, flags, threshold,
@@ -494,6 +520,20 @@ int main(int argc, char** argv) {
       }
     } else if (std::strncmp(a, "--connect=", 10) == 0) {
       flags.connect = a + 10;
+    } else if (std::strncmp(a, "--retries=", 10) == 0) {
+      double n = ParseDouble(a + 10);
+      if (n < 1) {
+        std::fprintf(stderr, "error: --retries must be >= 1\n");
+        return 2;
+      }
+      flags.retries = static_cast<int>(n);
+    } else if (std::strncmp(a, "--deadline-ms=", 14) == 0) {
+      double n = ParseDouble(a + 14);
+      if (n < 0) {
+        std::fprintf(stderr, "error: --deadline-ms must be >= 0\n");
+        return 2;
+      }
+      flags.deadline_ms = static_cast<uint32_t>(n);
     } else if (std::strncmp(a, "--cache=", 8) == 0) {
       double n = ParseDouble(a + 8);
       if (n < 0) {
@@ -523,7 +563,14 @@ int main(int argc, char** argv) {
   if (saw_flags && cmd != "batch") {
     std::fprintf(stderr,
                  "error: --shards/--policy/--async/--dim/--pool/--cache/"
-                 "--connect apply to batch only\n");
+                 "--connect/--retries/--deadline-ms apply to batch only\n");
+    return 2;
+  }
+  if (flags.connect.empty() &&
+      (flags.retries != 3 || flags.deadline_ms != 0)) {
+    std::fprintf(stderr,
+                 "error: --retries/--deadline-ms only apply with "
+                 "--connect\n");
     return 2;
   }
   if (!flags.connect.empty() &&

@@ -23,6 +23,15 @@
 //                   repeated identical requests from ANY connection hit
 //                   the memo
 //   --max-conns=N   concurrent connection cap (default 64)
+//   --max-frame=N   frame-body byte cap (oversized requests are answered
+//                   with a typed kTooLarge error, then disconnected)
+//   --inflight=N    per-connection in-flight cap (0 = unlimited); over it
+//                   the server answers kOverloaded without dropping the
+//                   connection
+//   --admission=N   global queued-request admission limit (0 = unlimited)
+//   --write-timeout-ms=N  slow-reader disconnect threshold (0 = never)
+//   --drain-ms=N    SIGTERM grace: finish in-flight requests for up to N ms
+//                   before stopping (SIGINT always stops immediately)
 //
 // Clients: pverify_cli batch ... --connect=host:port, the net_server tests
 // and bench/serve_loadgen all speak the same src/net/client.h library.
@@ -49,10 +58,12 @@ namespace {
 
 // SIGINT/SIGTERM land here; the main loop polls it between sleeps. A flag
 // rather than direct shutdown because Server::Stop joins threads, which is
-// not async-signal-safe.
+// not async-signal-safe. SIGINT stops immediately; SIGTERM asks for a
+// graceful drain first (finish in-flight work, reject new requests).
 volatile std::sig_atomic_t g_stop = 0;
 
-void HandleStop(int) { g_stop = 1; }
+void HandleInt(int) { g_stop = 1; }
+void HandleTerm(int) { g_stop = 2; }
 
 int Usage() {
   std::fprintf(
@@ -61,7 +72,10 @@ int Usage() {
       "                     [--port=N] [--port-file=FILE] [--threads=N]\n"
       "                     [--shards=N] [--policy=hash|range]\n"
       "                     [--pool=steal|queue] [--cache=N] "
-      "[--max-conns=N]\n");
+      "[--max-conns=N]\n"
+      "                     [--max-frame=BYTES] [--inflight=N] "
+      "[--admission=N]\n"
+      "                     [--write-timeout-ms=N] [--drain-ms=N]\n");
   return 2;
 }
 
@@ -77,6 +91,11 @@ struct ServeFlags {
   PoolKind pool = PoolKind::kWorkStealing;
   size_t cache = 0;
   size_t max_conns = 64;
+  size_t max_frame = 0;  // 0 = keep the library default
+  size_t inflight = 128;
+  size_t admission = 1024;
+  size_t write_timeout_ms = 5000;
+  size_t drain_ms = 2000;
 };
 
 bool ParseSize(const char* s, size_t* out) {
@@ -165,6 +184,21 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(a, "--max-conns=", 12) == 0 &&
                ParseSize(a + 12, &n) && n > 0) {
       flags.max_conns = n;
+    } else if (std::strncmp(a, "--max-frame=", 12) == 0 &&
+               ParseSize(a + 12, &n) && n > 0) {
+      flags.max_frame = n;
+    } else if (std::strncmp(a, "--inflight=", 11) == 0 &&
+               ParseSize(a + 11, &n)) {
+      flags.inflight = n;
+    } else if (std::strncmp(a, "--admission=", 12) == 0 &&
+               ParseSize(a + 12, &n)) {
+      flags.admission = n;
+    } else if (std::strncmp(a, "--write-timeout-ms=", 19) == 0 &&
+               ParseSize(a + 19, &n)) {
+      flags.write_timeout_ms = n;
+    } else if (std::strncmp(a, "--drain-ms=", 11) == 0 &&
+               ParseSize(a + 11, &n)) {
+      flags.drain_ms = n;
     } else {
       std::fprintf(stderr, "error: bad argument %s\n", a);
       return Usage();
@@ -204,6 +238,12 @@ int main(int argc, char** argv) {
     net::ServerOptions sopt;
     sopt.port = flags.port;
     sopt.max_connections = flags.max_conns;
+    if (flags.max_frame > 0) {
+      sopt.max_body_bytes = static_cast<uint32_t>(flags.max_frame);
+    }
+    sopt.max_inflight_per_conn = flags.inflight;
+    sopt.max_pending = flags.admission;
+    sopt.write_timeout_ms = static_cast<uint32_t>(flags.write_timeout_ms);
     net::Server server(*engine, sopt);
     server.Start();
 
@@ -225,13 +265,18 @@ int main(int argc, char** argv) {
       std::fclose(f);
     }
 
-    std::signal(SIGINT, HandleStop);
-    std::signal(SIGTERM, HandleStop);
+    std::signal(SIGINT, HandleInt);
+    std::signal(SIGTERM, HandleTerm);
     while (g_stop == 0) {
       struct timespec ts = {0, 50 * 1000 * 1000};  // 50 ms
       nanosleep(&ts, nullptr);
     }
 
+    if (g_stop == 2 && flags.drain_ms > 0) {
+      bool drained = server.Drain(static_cast<uint32_t>(flags.drain_ms));
+      std::printf("# drain: %s\n",
+                  drained ? "completed cleanly" : "deadline hit");
+    }
     server.Stop();
     net::ServerStats stats = server.stats();
     std::printf("# served %llu requests over %llu connections "
@@ -242,6 +287,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.request_errors),
                 static_cast<unsigned long long>(stats.protocol_errors),
                 static_cast<unsigned long long>(stats.connections_rejected));
+    std::printf("# backpressure: %llu overloaded, %llu deadline-expired, "
+                "%llu slow-reader disconnects, %llu shutdown-rejected\n",
+                static_cast<unsigned long long>(stats.overload_rejections),
+                static_cast<unsigned long long>(stats.deadline_expirations),
+                static_cast<unsigned long long>(
+                    stats.slow_reader_disconnects),
+                static_cast<unsigned long long>(stats.shutdown_rejections));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
